@@ -1,0 +1,54 @@
+"""Shared benchmark configuration.
+
+Every benchmark honours ``ROLP_BENCH_SCALE`` (see
+:mod:`repro.bench.config`): the default regenerates the paper's shapes
+in minutes; ``ROLP_BENCH_SCALE=0.2`` gives a quick smoke pass.
+
+The simulated runs are deterministic, so one round per benchmark is the
+meaningful measurement — ``benchmark.pedantic(..., rounds=1)`` records
+the wall-clock cost of regenerating each artifact without re-running
+multi-second simulations dozens of times.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.figures import pause_study
+
+#: rendered tables/figures are also written here so they survive
+#: pytest's output capture (EXPERIMENTS.md references these files)
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+
+_PAUSE_STUDIES = []
+
+
+def save_artifact(name, text):
+    """Persist a rendered table/figure under bench_results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "%s.txt" % name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def pause_studies():
+    """Figures 8 and 9 share one (expensive) set of runs: every large
+    workload under every compared collector."""
+    if not _PAUSE_STUDIES:
+        _PAUSE_STUDIES.extend(pause_study())
+    return _PAUSE_STUDIES
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Collector comparison on the Cassandra write-intensive workload.
+
+Runs the same YCSB-driven Cassandra model under the paper's five
+systems (CMS, G1, ZGC, NG2C, ROLP) and prints pause-time percentiles, a
+duration histogram, throughput and peak memory — a miniature of the
+paper's Figures 8-10.
+
+Run:  python examples/collector_comparison.py           (a few minutes)
+      QUICK=1 python examples/collector_comparison.py   (smaller run)
+"""
+
+import os
+
+from repro.metrics.pauses import duration_histogram, percentile_profile
+from repro.metrics.report import render_histogram_series, render_percentile_series, render_table
+from repro.workloads.base import run_workload
+from repro.workloads.kvstore import CassandraWorkload
+
+COLLECTORS = ("cms", "g1", "zgc", "ng2c", "rolp")
+
+
+def main():
+    operations = 40_000 if os.environ.get("QUICK") else 150_000
+    percentiles = {}
+    histograms = {}
+    rows = []
+    for collector in COLLECTORS:
+        workload = CassandraWorkload.write_intensive()
+        result = run_workload(workload, collector, operations=operations)
+        # Discard the first half: warmup is examples/warmup_timeline.py's
+        # subject; steady state is what SLAs see.
+        cutoff = result.elapsed_ms * 1e6 * 0.5
+        steady = [p.duration_ms for p in result.pauses if p.start_ns >= cutoff]
+        percentiles[collector] = percentile_profile(steady)
+        histograms[collector] = duration_histogram(steady)
+        rows.append(
+            [
+                collector,
+                "%d" % result.throughput_ops_s,
+                "%.0f" % (result.max_memory_bytes / 1e6),
+                "%d" % result.gc_cycles,
+                "%d" % len(steady),
+            ]
+        )
+
+    print(render_percentile_series(percentiles, title="Pause-time percentiles (ms), steady state"))
+    print()
+    print(render_histogram_series(histograms, title="Pauses per duration interval (ms)"))
+    print()
+    print(render_table(["collector", "ops/s", "peak MB", "GCs", "pauses"], rows))
+    print()
+    print("Expected shape (paper Figs 8-10): NG2C and ROLP flat and low;")
+    print("G1 higher; CMS with a long tail; ZGC tiny pauses but the lowest")
+    print("throughput and the highest memory.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""ROLP warmup timeline (the paper's Figure 10, left plot).
+
+Runs Cassandra WI under ROLP and renders an ASCII timeline of pause
+durations: the early phase behaves like plain G1 (ROLP is still
+learning), then pause times step down as lifetime estimations land and
+NG2C starts pretenuring.
+
+Run:  python examples/warmup_timeline.py
+"""
+
+from repro.workloads.base import run_workload
+from repro.workloads.kvstore import CassandraWorkload
+
+BUCKETS = 30
+WIDTH = 56
+
+
+def main():
+    workload = CassandraWorkload.write_intensive()
+    result = run_workload(workload, "rolp", operations=200_000)
+
+    timeline = result.pause_timeline()
+    end_s = timeline[-1][0]
+    bucket_s = end_s / BUCKETS
+    scale = max(d for _, d in timeline)
+
+    print("ROLP warmup on Cassandra WI — avg pause per time window")
+    print("(each row is %.2f simulated seconds; bar scale %.2f ms)\n" % (bucket_s, scale))
+    for i in range(BUCKETS):
+        window = [d for t, d in timeline if i * bucket_s <= t < (i + 1) * bucket_s]
+        if not window:
+            print("%6.2fs |" % (i * bucket_s))
+            continue
+        avg = sum(window) / len(window)
+        bar = "#" * max(1, int(avg / scale * WIDTH))
+        print("%6.2fs |%-*s %.2f ms (n=%d)" % (i * bucket_s, WIDTH, bar, avg, len(window)))
+
+    profiler = workload.vm.profiler
+    print("\nadvice changes per inference pass:", profiler.decision_change_log)
+    print("conflicts found/resolved: %d/%d" % (
+        profiler.resolver.conflicts_seen, len(profiler.resolver.resolved_sites)))
+    print("survivor tracking still on:", profiler.survivor_tracking_enabled())
+    print("\nExpected shape (paper Fig. 10): tall bars early (G1-like),")
+    print("stepping down as lifetime estimations reach the collector.")
+
+
+if __name__ == "__main__":
+    main()

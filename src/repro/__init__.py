@@ -1,0 +1,96 @@
+"""ROLP reproduction: a runtime object lifetime profiler with a
+pretenuring collector, on a simulated JVM substrate.
+
+Reproduces "Runtime Object Lifetime Profiler for Latency Sensitive Big
+Data Applications" (EuroSys 2019).  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the per-table/figure results.
+
+Quickstart::
+
+    from repro import build_vm
+
+    vm, profiler = build_vm("rolp", heap_mb=256)
+    # ... run a workload through vm (see examples/quickstart.py)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core import PackageFilter, RolpConfig, RolpProfiler
+from repro.gc import CMSCollector, Collector, G1Collector, NG2CCollector, ZGCCollector
+from repro.heap import BandwidthModel, RegionHeap
+from repro.runtime import JavaVM, NullProfiler, VMFlags
+
+__version__ = "1.0.0"
+
+#: the five systems compared in the paper's evaluation
+COLLECTOR_NAMES = ("g1", "cms", "zgc", "ng2c", "rolp")
+
+
+def build_vm(
+    collector: str = "g1",
+    heap_mb: int = 256,
+    region_kb: int = 1024,
+    young_regions: int = 0,
+    bandwidth: Optional[BandwidthModel] = None,
+    flags: Optional[VMFlags] = None,
+    rolp_config: Optional[RolpConfig] = None,
+) -> Tuple[JavaVM, Optional[RolpProfiler]]:
+    """Build a simulated JVM with one of the paper's five setups.
+
+    ``collector`` is one of :data:`COLLECTOR_NAMES`:
+
+    * ``"g1"`` — the default HotSpot collector (baseline);
+    * ``"cms"`` — the throughput-oriented collector;
+    * ``"zgc"`` — the fully concurrent collector;
+    * ``"ng2c"`` — pretenuring via hand annotations (``gen_hint``);
+    * ``"rolp"`` — NG2C driven by the ROLP profiler (no annotations).
+
+    Returns ``(vm, profiler)`` — ``profiler`` is None except for
+    ``"rolp"``.
+    """
+    if collector not in COLLECTOR_NAMES:
+        raise ValueError(
+            "unknown collector %r (expected one of %s)" % (collector, COLLECTOR_NAMES)
+        )
+    heap = RegionHeap(heap_mb * (1 << 20), region_kb * (1 << 10))
+    bandwidth = bandwidth or BandwidthModel()
+    profiler: Optional[RolpProfiler] = None
+    if collector == "g1":
+        gc: Collector = G1Collector(heap, bandwidth, young_regions=young_regions)
+    elif collector == "cms":
+        gc = CMSCollector(heap, bandwidth, young_regions=young_regions)
+    elif collector == "zgc":
+        gc = ZGCCollector(heap, bandwidth)
+    elif collector == "ng2c":
+        gc = NG2CCollector(
+            heap, bandwidth, young_regions=young_regions, use_profiler_advice=False
+        )
+    else:  # rolp
+        gc = NG2CCollector(
+            heap, bandwidth, young_regions=young_regions, use_profiler_advice=True
+        )
+        profiler = RolpProfiler(rolp_config)
+    vm = JavaVM(gc, profiler, flags)
+    return vm, profiler
+
+
+__all__ = [
+    "BandwidthModel",
+    "COLLECTOR_NAMES",
+    "CMSCollector",
+    "Collector",
+    "G1Collector",
+    "JavaVM",
+    "NG2CCollector",
+    "NullProfiler",
+    "PackageFilter",
+    "RegionHeap",
+    "RolpConfig",
+    "RolpProfiler",
+    "VMFlags",
+    "ZGCCollector",
+    "build_vm",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Benchmark harness regenerating every table and figure of the paper's
+evaluation (see DESIGN.md's experiment index)."""
+
+from repro.bench import ablations, figures, tables
+from repro.bench.config import bench_scale, scaled_ops
+from repro.bench.workload_registry import (
+    BIG_WORKLOADS,
+    make_big_workload,
+    run_big_workload,
+)
+
+__all__ = [
+    "BIG_WORKLOADS",
+    "ablations",
+    "bench_scale",
+    "figures",
+    "make_big_workload",
+    "run_big_workload",
+    "scaled_ops",
+    "tables",
+]

@@ -1,0 +1,245 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each returns the measured effect of disabling one ROLP mechanism on the
+Cassandra WI workload — the knobs the paper motivates in Sections 7.2-7.4
+and the generation-count comparison against two-generation pretenuring
+(Harris/Memento, Section 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import PackageFilter, RolpConfig
+from repro.heap.header import MAX_AGE
+from repro.metrics.pauses import percentile
+from repro.workloads.base import RunResult, run_workload
+from repro.workloads.kvstore import CassandraWorkload
+from repro.bench.config import CASSANDRA_OPS, scaled_ops
+
+
+@dataclass
+class AblationResult:
+    label: str
+    p50_ms: float
+    p999_ms: float
+    throughput_ops_s: float
+    gc_cycles: int
+    extra: Dict[str, float]
+
+    @classmethod
+    def from_run(cls, label: str, result: RunResult, **extra) -> "AblationResult":
+        pauses = result.pause_ms
+        return cls(
+            label=label,
+            p50_ms=percentile(pauses, 50.0),
+            p999_ms=percentile(pauses, 99.9),
+            throughput_ops_s=result.throughput_ops_s,
+            gc_cycles=result.gc_cycles,
+            extra=dict(extra),
+        )
+
+
+def _run(config: Optional[RolpConfig] = None, operations: Optional[int] = None):
+    workload = CassandraWorkload.write_intensive()
+    # Ablations need the profile fully converged *and* a stretch of
+    # steady state afterwards (e.g. the survivor-tracking shutdown
+    # requires several consecutive stable inference passes), so they run
+    # longer than the pause studies.
+    ops = operations or scaled_ops(int(CASSANDRA_OPS * 1.6))
+    result = run_workload(workload, "rolp", operations=ops, rolp_config=config)
+    return result, workload
+
+
+def ablation_survivor_tracking() -> List[AblationResult]:
+    """Section 7.4: dynamic survivor-tracking shutdown on vs always-on."""
+    results = []
+    for label, dynamic in (("dynamic (paper)", True), ("always-on", False)):
+        config = RolpConfig(
+            package_filter=CassandraWorkload.write_intensive().package_filter(),
+            dynamic_survivor_tracking=dynamic,
+        )
+        result, workload = _run(config)
+        results.append(
+            AblationResult.from_run(
+                label,
+                result,
+                shutdowns=workload.vm.profiler.survivor_controller.shutdowns,
+            )
+        )
+    return results
+
+
+def ablation_package_filters() -> List[AblationResult]:
+    """Section 7.3: package filters on (paper) vs profile-everything."""
+    results = []
+    workload_filter = CassandraWorkload.write_intensive().package_filter()
+    for label, pkg_filter in (
+        ("filtered (paper)", workload_filter),
+        ("profile-everything", PackageFilter.accept_all()),
+    ):
+        config = RolpConfig(package_filter=pkg_filter)
+        result, workload = _run(config)
+        results.append(
+            AblationResult.from_run(
+                label,
+                result,
+                profiled_sites=workload.vm.jit.profiled_alloc_site_count,
+                profiling_tax_ms=workload.vm.profiling_tax_ns / 1e6,
+            )
+        )
+    return results
+
+
+def ablation_generations() -> List[AblationResult]:
+    """Two-generation pretenuring (Harris/Memento-style binary decision,
+    Section 9) vs ROLP's 16 generations.
+
+    The binary variant collapses every non-zero estimate to the old
+    generation, co-locating objects with very different lifetimes.
+    """
+    results = []
+    for label, min_age in (
+        ("16 generations (paper)", 2),
+        ("binary pretenuring", MAX_AGE),  # any estimate >= 15 -> old only
+    ):
+        config = RolpConfig(
+            package_filter=CassandraWorkload.write_intensive().package_filter(),
+            pretenure_min_age=min_age,
+        )
+        result, _ = _run(config)
+        results.append(AblationResult.from_run(label, result))
+    return results
+
+
+def ablation_increment_loss() -> List[AblationResult]:
+    """Section 7.6: unsynchronized OLD-table updates.  Sweeps the
+    modelled increment-loss probability to show decisions are robust."""
+    results = []
+    for loss in (0.0, 0.0005, 0.01, 0.05):
+        config = RolpConfig(
+            package_filter=CassandraWorkload.write_intensive().package_filter(),
+            increment_loss_probability=loss,
+        )
+        result, workload = _run(config)
+        results.append(
+            AblationResult.from_run(
+                "loss=%g" % loss,
+                result,
+                lost=workload.vm.profiler.old_table.lost_increments,
+                advice=len(workload.vm.profiler.advice),
+            )
+        )
+    return results
+
+
+def ablation_allocation_sampling() -> List[AblationResult]:
+    """Section 8.5's named extension: sample 1/N of allocations.
+
+    Sweeps the sampling rate, showing the profiling tax falling while
+    the learned decisions stay intact (until the sample gets too thin
+    for the inference minimum-sample gate)."""
+    results = []
+    for rate in (1, 4, 16):
+        config = RolpConfig(
+            package_filter=CassandraWorkload.write_intensive().package_filter(),
+            allocation_sample_rate=rate,
+            # keep curves above the inference gate despite thin samples
+            min_samples=max(4, 32 // rate),
+        )
+        result, workload = _run(config)
+        results.append(
+            AblationResult.from_run(
+                "sample 1/%d" % rate,
+                result,
+                profiling_tax_ms=round(workload.vm.profiling_tax_ns / 1e6, 2),
+                advice=len(workload.vm.profiler.advice),
+                skipped=workload.vm.profiler.allocations_skipped,
+            )
+        )
+    return results
+
+
+def ablation_offline_profile() -> List[AblationResult]:
+    """POLM2-style offline profiling vs ROLP online profiling.
+
+    Capture a profile from one ROLP run, then replay the workload with
+    the static per-site decisions: zero warmup and zero profiling cost,
+    but conflicted sites collapse to one conservative decision — the
+    trade-off the paper's Sections 9/10 describe.
+    """
+    from repro.core.offline import OfflineAdviceProfiler, OfflineProfile
+    from repro.gc import NG2CCollector
+    from repro.heap import BandwidthModel, RegionHeap
+    from repro.runtime import JavaVM
+    from repro.metrics.pauses import percentile as _pct
+
+    ops = scaled_ops(CASSANDRA_OPS)
+
+    # 1. the online (ROLP) run — also the capture run
+    online_result, online_workload = _run(operations=ops)
+    profile = OfflineProfile.capture(
+        online_workload.vm.profiler, online_workload.vm
+    )
+
+    # 2. the offline-profiled run (POLM2 mode)
+    workload = CassandraWorkload.write_intensive()
+    heap = RegionHeap(workload.heap_mb << 20)
+    collector = NG2CCollector(
+        heap,
+        BandwidthModel(),
+        young_regions=workload.young_regions,
+        use_profiler_advice=True,
+    )
+    vm = JavaVM(collector, OfflineAdviceProfiler(profile))
+    workload.build(vm)
+    for op_index in range(ops):
+        workload.run_op(op_index)
+
+    offline_pauses = [p.duration_ms for p in collector.pauses]
+    offline = AblationResult(
+        label="offline profile (POLM2-style)",
+        p50_ms=_pct(offline_pauses, 50.0),
+        p999_ms=_pct(offline_pauses, 99.9),
+        throughput_ops_s=ops / (vm.clock.now_ns / 1e9),
+        gc_cycles=collector.gc_cycles,
+        extra={
+            "profile_sites": len(profile),
+            "profiling_tax_ms": vm.profiling_tax_ns / 1e6,
+        },
+    )
+    online = AblationResult.from_run(
+        "online (ROLP)",
+        online_result,
+        profile_sites=len(profile),
+        profiling_tax_ms=online_workload.vm.profiling_tax_ns / 1e6,
+    )
+    return [online, offline]
+
+
+def render_ablation(results: Sequence[AblationResult], title: str) -> str:
+    from repro.metrics.report import render_table
+
+    extra_keys: List[str] = []
+    for r in results:
+        for key in r.extra:
+            if key not in extra_keys:
+                extra_keys.append(key)
+    rows = [
+        [
+            r.label,
+            "%.2f" % r.p50_ms,
+            "%.2f" % r.p999_ms,
+            "%.0f" % r.throughput_ops_s,
+            r.gc_cycles,
+        ]
+        + [r.extra.get(k, "-") for k in extra_keys]
+        for r in results
+    ]
+    return "%s\n%s" % (
+        title,
+        render_table(
+            ["variant", "p50 ms", "p99.9 ms", "ops/s", "GCs"] + extra_keys, rows
+        ),
+    )

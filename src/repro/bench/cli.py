@@ -1,0 +1,126 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    rolp-bench table1
+    rolp-bench fig8 --workloads cassandra-wi lucene
+    ROLP_BENCH_SCALE=0.2 rolp-bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import ablations, figures, tables
+from repro.workloads.dacapo import SPEC_BY_NAME
+
+
+def _specs(names: Optional[List[str]]):
+    if not names:
+        return None
+    return [SPEC_BY_NAME[n] for n in names]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rolp-bench",
+        description="Regenerate the ROLP paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1",
+            "table2",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "ablations",
+            "all",
+        ],
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="*",
+        help="restrict large-scale experiments to these workloads",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        help="restrict DaCapo experiments to these benchmarks",
+    )
+    args = parser.parse_args(argv)
+
+    todo = (
+        ["table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+
+    for experiment in todo:
+        print("=" * 72)
+        if experiment == "table1":
+            print("[Table 1] Big Data benchmark profiling summary")
+            print(tables.render_table1(tables.table1(args.workloads)))
+        elif experiment == "table2":
+            print("[Table 2] DaCapo profiling and conflicts")
+            print(tables.render_table2(tables.table2(_specs(args.benchmarks))))
+        elif experiment == "fig6":
+            print("[Figure 6] DaCapo execution time normalized to G1")
+            print(figures.render_figure6(figures.figure6(_specs(args.benchmarks))))
+        elif experiment == "fig7":
+            print("[Figure 7] Worst-case conflict resolution time (ms)")
+            print(figures.render_figure7(figures.figure7(_specs(args.benchmarks))))
+        elif experiment in ("fig8", "fig9"):
+            studies = figures.pause_study(args.workloads)
+            if experiment == "fig8":
+                print(figures.render_figure8(studies))
+            else:
+                print(figures.render_figure9(studies))
+        elif experiment == "fig10":
+            print(figures.render_figure10(figures.figure10()))
+        elif experiment == "ablations":
+            print(
+                ablations.render_ablation(
+                    ablations.ablation_survivor_tracking(),
+                    "[Ablation] survivor-tracking shutdown (Section 7.4)",
+                )
+            )
+            print(
+                ablations.render_ablation(
+                    ablations.ablation_package_filters(),
+                    "[Ablation] package filters (Section 7.3)",
+                )
+            )
+            print(
+                ablations.render_ablation(
+                    ablations.ablation_generations(),
+                    "[Ablation] 16 generations vs binary pretenuring (Section 9)",
+                )
+            )
+            print(
+                ablations.render_ablation(
+                    ablations.ablation_increment_loss(),
+                    "[Ablation] unsynchronized OLD-table increment loss (Section 7.6)",
+                )
+            )
+            print(
+                ablations.render_ablation(
+                    ablations.ablation_allocation_sampling(),
+                    "[Ablation] allocation sampling (Section 8.5 extension)",
+                )
+            )
+            print(
+                ablations.render_ablation(
+                    ablations.ablation_offline_profile(),
+                    "[Ablation] offline (POLM2-style) vs online profiling (Section 10)",
+                )
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Benchmark sizing.
+
+Every experiment honours ``ROLP_BENCH_SCALE`` (default 1.0): operation
+counts are multiplied by it, so ``ROLP_BENCH_SCALE=0.2 pytest
+benchmarks/`` gives a fast smoke pass and ``=3`` a higher-fidelity run.
+The paper's runs are 30 minutes each on a Xeon; the simulator defaults
+reproduce the *shapes* in minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_scale() -> float:
+    try:
+        scale = float(os.environ.get("ROLP_BENCH_SCALE", "1"))
+    except ValueError:
+        scale = 1.0
+    return max(scale, 0.01)
+
+
+def scaled_ops(base_ops: int) -> int:
+    """Apply the global scale with a floor that keeps at least one
+    inference pass in every run."""
+    return max(2_000, int(base_ops * bench_scale()))
+
+
+#: default operation counts per experiment (before scaling)
+CASSANDRA_OPS = 150_000
+LUCENE_OPS = 120_000
+GRAPHCHI_OPS = 60_000
+DACAPO_PROFILE_OPS = 20_000   # Table 2 (needs inference passes)
+DACAPO_OVERHEAD_OPS = 5_000   # Figure 6 (overhead measurement only)
+WARMUP_OPS = 240_000          # Figure 10 timeline

@@ -1,0 +1,267 @@
+"""Figure 6-10 reproduction.
+
+Each ``figureN`` function regenerates the data series of the paper's
+figure; each ``render_figureN`` prints the same rows/series the paper
+plots.  Shapes — who wins, by what factor, where crossovers fall — are
+the reproduction target; absolute milliseconds depend on the bandwidth
+model's constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.conflicts import worst_case_resolution_ns
+from repro.metrics.pauses import (
+    DEFAULT_PERCENTILES,
+    duration_histogram,
+    percentile_profile,
+)
+from repro.metrics.report import (
+    render_histogram_series,
+    render_percentile_series,
+    render_table,
+)
+from repro.workloads.dacapo import DACAPO_SPECS, DaCapoSpec
+from repro.bench.config import (
+    DACAPO_OVERHEAD_OPS,
+    WARMUP_OPS,
+    scaled_ops,
+)
+from repro.bench.tables import _run_dacapo
+from repro.bench.workload_registry import BIG_WORKLOADS, run_big_workload
+
+#: collectors plotted in Figures 8/9 (paper omits ZGC: pauses < 10 ms)
+PAUSE_FIGURE_COLLECTORS = ("cms", "g1", "ng2c", "rolp")
+#: profiling levels of Figure 6, in plot order
+FIG6_MODES = ("none", "fast", "real", "slow")
+FIG6_LABELS = {
+    "none": "no-call-profiling",
+    "fast": "fast-call-profiling",
+    "real": "real-profiling",
+    "slow": "slow-call-profiling",
+}
+
+
+# --------------------------------------------------------------------------- Figure 6
+
+def figure6(specs: Optional[Sequence[DaCapoSpec]] = None) -> Dict[str, Dict[str, float]]:
+    """DaCapo execution time normalized to G1 at four profiling levels.
+
+    Returns ``{benchmark: {mode: normalized execution time}}``.
+    """
+    operations = scaled_ops(DACAPO_OVERHEAD_OPS)
+    series: Dict[str, Dict[str, float]] = {}
+    for spec in specs or DACAPO_SPECS:
+        baseline = _run_dacapo(spec, "real", profiled=False, operations=operations)
+        base_ns = baseline.clock.now_ns
+        row: Dict[str, float] = {}
+        for mode in FIG6_MODES:
+            vm = _run_dacapo(spec, mode, profiled=True, operations=operations)
+            row[mode] = vm.clock.now_ns / base_ns
+        series[spec.name] = row
+    return series
+
+
+def render_figure6(series: Dict[str, Dict[str, float]]) -> str:
+    return render_table(
+        ["benchmark"] + [FIG6_LABELS[m] for m in FIG6_MODES],
+        [
+            [name] + ["%.3f" % row[m] for m in FIG6_MODES]
+            for name, row in series.items()
+        ],
+    )
+
+
+# --------------------------------------------------------------------------- Figure 7
+
+def figure7(
+    specs: Optional[Sequence[DaCapoSpec]] = None,
+    p_fractions: Sequence[float] = (0.05, 0.10, 0.20, 0.50),
+) -> Dict[str, Dict[float, float]]:
+    """Worst-case conflict resolution time (ms) per benchmark and P.
+
+    Uses each benchmark's measured jitted-call-site count and average
+    inter-GC interval, plugged into the resolver's worst-case model
+    (Section 5: subsets of P% per 16-GC inference pass until all call
+    sites are exhausted).
+    """
+    operations = scaled_ops(DACAPO_OVERHEAD_OPS)
+    series: Dict[str, Dict[float, float]] = {}
+    for spec in specs or DACAPO_SPECS:
+        vm = _run_dacapo(spec, "real", profiled=True, operations=operations)
+        call_sites = vm.jit.profiled_call_site_count
+        cycles = max(1, vm.collector.gc_cycles)
+        avg_gc_interval_ns = vm.clock.now_ns / cycles
+        series[spec.name] = {
+            p: worst_case_resolution_ns(call_sites, p, 16, avg_gc_interval_ns) / 1e6
+            for p in p_fractions
+        }
+    return series
+
+
+def render_figure7(series: Dict[str, Dict[float, float]]) -> str:
+    fractions = sorted(next(iter(series.values())).keys()) if series else []
+    return render_table(
+        ["benchmark"] + ["P=%d%%" % int(p * 100) for p in fractions],
+        [
+            [name] + ["%.0f" % row[p] for p in fractions]
+            for name, row in series.items()
+        ],
+    )
+
+
+# ------------------------------------------------------------------- Figures 8 and 9
+
+@dataclass
+class PauseStudy:
+    """Pause data for one workload across the compared collectors."""
+
+    workload: str
+    pauses_ms: Dict[str, List[float]] = field(default_factory=dict)
+
+    def percentiles(self) -> Dict[str, Dict[float, float]]:
+        return {
+            collector: percentile_profile(pauses)
+            for collector, pauses in self.pauses_ms.items()
+        }
+
+    def histograms(self) -> Dict[str, List[Tuple[str, int]]]:
+        return {
+            collector: duration_histogram(pauses)
+            for collector, pauses in self.pauses_ms.items()
+        }
+
+
+def pause_study(
+    workload_names: Optional[Sequence[str]] = None,
+    collectors: Sequence[str] = PAUSE_FIGURE_COLLECTORS,
+    discard_fraction: float = 0.50,
+) -> List[PauseStudy]:
+    """Shared runner for Figures 8 and 9: every workload under every
+    collector, collecting the raw pause lists.
+
+    ``discard_fraction`` drops the leading part of every run, the
+    simulator's analogue of the paper discarding the first 5 of 30
+    minutes to exclude JVM loading, JIT compilation and — for ROLP —
+    the profile learning phase (the warmup itself is Figure 10's
+    subject).  The fraction is larger than the paper's 17% because the
+    scaled runs spend proportionally longer warming up.
+    """
+    studies: List[PauseStudy] = []
+    for name in workload_names or sorted(BIG_WORKLOADS):
+        study = PauseStudy(workload=name)
+        for collector in collectors:
+            result, _ = run_big_workload(name, collector)
+            cutoff_ns = result.elapsed_ms * 1e6 * discard_fraction
+            study.pauses_ms[collector] = [
+                p.duration_ms for p in result.pauses if p.start_ns >= cutoff_ns
+            ]
+        studies.append(study)
+    return studies
+
+
+def render_figure8(studies: Sequence[PauseStudy]) -> str:
+    parts = []
+    for study in studies:
+        parts.append(
+            render_percentile_series(
+                study.percentiles(), title="[Figure 8] %s pause percentiles (ms)" % study.workload
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def render_figure9(studies: Sequence[PauseStudy]) -> str:
+    parts = []
+    for study in studies:
+        parts.append(
+            render_histogram_series(
+                study.histograms(),
+                title="[Figure 9] %s pauses per duration interval (ms)" % study.workload,
+            )
+        )
+    return "\n\n".join(parts)
+
+
+# --------------------------------------------------------------------------- Figure 10
+
+@dataclass
+class WarmupStudy:
+    """Figure 10: warmup pause timeline + normalized throughput/memory."""
+
+    #: (pause start in s, duration in ms) for the ROLP run
+    rolp_timeline: List[Tuple[float, float]]
+    #: collector -> throughput normalized to G1
+    throughput_norm: Dict[str, float]
+    #: collector -> max memory normalized to G1
+    memory_norm: Dict[str, float]
+    #: ROLP advice-change counts per inference pass (learning curve)
+    decision_changes: List[int]
+
+
+def figure10(
+    workload_name: str = "cassandra-wi",
+    collectors: Sequence[str] = ("cms", "zgc", "ng2c", "rolp"),
+) -> WarmupStudy:
+    operations = scaled_ops(WARMUP_OPS)
+
+    g1_result, _ = run_big_workload(workload_name, "g1", operations=operations)
+    g1_throughput = g1_result.throughput_ops_s
+    g1_memory = g1_result.max_memory_bytes
+
+    throughput_norm = {"g1": 1.0}
+    memory_norm = {"g1": 1.0}
+    rolp_timeline: List[Tuple[float, float]] = []
+    decision_changes: List[int] = []
+    for collector in collectors:
+        result, workload = run_big_workload(
+            workload_name, collector, operations=operations
+        )
+        throughput_norm[collector] = result.throughput_ops_s / g1_throughput
+        memory_norm[collector] = result.max_memory_bytes / g1_memory
+        if collector == "rolp":
+            rolp_timeline = result.pause_timeline()
+            decision_changes = list(workload.vm.profiler.decision_change_log)
+    return WarmupStudy(
+        rolp_timeline=rolp_timeline,
+        throughput_norm=throughput_norm,
+        memory_norm=memory_norm,
+        decision_changes=decision_changes,
+    )
+
+
+def render_figure10(study: WarmupStudy, buckets: int = 12) -> str:
+    parts = ["[Figure 10] Cassandra WI warmup pause times (ROLP)"]
+    if study.rolp_timeline:
+        end = study.rolp_timeline[-1][0] or 1.0
+        width = end / buckets
+        rows = []
+        for i in range(buckets):
+            window = [
+                d for (t, d) in study.rolp_timeline if i * width <= t < (i + 1) * width
+            ]
+            rows.append(
+                [
+                    "%.2f-%.2fs" % (i * width, (i + 1) * width),
+                    len(window),
+                    "%.2f" % (sum(window) / len(window)) if window else "-",
+                    "%.2f" % max(window) if window else "-",
+                ]
+            )
+        parts.append(render_table(["window", "pauses", "avg ms", "max ms"], rows))
+    parts.append("decision changes per inference pass: %s" % study.decision_changes)
+    collectors = sorted(study.throughput_norm)
+    parts.append(
+        render_table(
+            ["metric"] + collectors,
+            [
+                ["throughput/G1"]
+                + ["%.3f" % study.throughput_norm[c] for c in collectors],
+                ["max-memory/G1"]
+                + ["%.3f" % study.memory_norm[c] for c in collectors],
+            ],
+        )
+    )
+    return "\n".join(parts)

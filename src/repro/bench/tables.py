@@ -1,0 +1,159 @@
+"""Table 1 and Table 2 reproduction.
+
+* **Table 1** — Big Data benchmark profiling summary: for each of the
+  six large-scale workloads under ROLP, the fraction of allocation
+  sites (PAS) and method-call sites (PMC) that received profiling code,
+  the number of allocation-context conflicts (#CFs), the number of
+  hand annotations the NG2C baseline needs, and the OLD table's memory
+  footprint.
+* **Table 2** — DaCapo profiling: per benchmark, the heap size, the
+  profiled method-call and allocation-site counts, the number of
+  conflicts, and the expected throughput overhead of tracking P=20% of
+  all method calls (the conflict-resolution cost simulation reported on
+  the right side of the paper's table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import RolpConfig, RolpProfiler
+from repro.gc import G1Collector
+from repro.heap import BandwidthModel, RegionHeap
+from repro.metrics.report import render_table
+from repro.runtime import JavaVM, VMFlags
+from repro.workloads.base import run_workload
+from repro.workloads.dacapo import DACAPO_SPECS, DaCapoSpec, DaCapoWorkload
+from repro.bench.config import DACAPO_OVERHEAD_OPS, DACAPO_PROFILE_OPS, scaled_ops
+from repro.bench.workload_registry import BIG_WORKLOADS, run_big_workload
+
+
+@dataclass
+class Table1Row:
+    workload: str
+    pas_percent: float
+    pmc_percent: float
+    conflicts: int
+    ng2c_annotations: int
+    old_table_mb: float
+
+
+def table1(workload_names: Optional[Sequence[str]] = None) -> List[Table1Row]:
+    """Run the six large workloads under ROLP and collect Table 1."""
+    rows: List[Table1Row] = []
+    for name in workload_names or sorted(BIG_WORKLOADS):
+        result, workload = run_big_workload(name, "rolp")
+        vm = workload.vm
+        profiler = vm.profiler
+        total_alloc, total_calls = workload.count_sites()
+        pas = vm.jit.profiled_alloc_site_count / total_alloc * 100 if total_alloc else 0
+        pmc = vm.jit.profiled_call_site_count / total_calls * 100 if total_calls else 0
+        rows.append(
+            Table1Row(
+                workload=name,
+                pas_percent=pas,
+                pmc_percent=pmc,
+                conflicts=profiler.resolver.conflicts_seen,
+                ng2c_annotations=workload.annotated_sites,
+                old_table_mb=profiler.old_table_memory_bytes() / (1 << 20),
+            )
+        )
+    return rows
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    return render_table(
+        ["workload", "PAS %", "PMC %", "#CFs", "NG2C", "OLD MB"],
+        [
+            [
+                r.workload,
+                "%.1f" % r.pas_percent,
+                "%.1f" % r.pmc_percent,
+                r.conflicts,
+                r.ng2c_annotations,
+                "%.0f" % r.old_table_mb,
+            ]
+            for r in rows
+        ],
+    )
+
+
+@dataclass
+class Table2Row:
+    benchmark: str
+    heap_mb: int
+    pmc: int
+    pas: int
+    conflicts: int
+    #: expected throughput overhead of tracking 20% of method calls
+    conflict_overhead_percent: float
+
+
+def _run_dacapo(
+    spec: DaCapoSpec,
+    mode: str,
+    profiled: bool,
+    operations: int,
+) -> JavaVM:
+    """One DaCapo run on G1 (profiling overhead isolated from GC
+    policy changes, as in the paper's Figure 6 setup)."""
+    workload = DaCapoWorkload(spec)
+    heap = RegionHeap(workload.heap_mb << 20)
+    gc = G1Collector(heap, BandwidthModel(), young_regions=workload.young_regions)
+    profiler = RolpProfiler(RolpConfig()) if profiled else None
+    vm = JavaVM(gc, profiler, VMFlags(call_profiling_mode=mode))
+    workload.build(vm)
+    for op_index in range(operations):
+        workload.run_op(op_index)
+    return vm
+
+
+def table2(specs: Optional[Sequence[DaCapoSpec]] = None) -> List[Table2Row]:
+    """Run the DaCapo suite under ROLP and collect Table 2."""
+    rows: List[Table2Row] = []
+    profile_ops = scaled_ops(DACAPO_PROFILE_OPS)
+    overhead_ops = scaled_ops(DACAPO_OVERHEAD_OPS)
+    for spec in specs or DACAPO_SPECS:
+        # Conflict discovery run (ROLP on NG2C, full pipeline).
+        workload = DaCapoWorkload(spec)
+        run_workload(workload, "rolp", operations=profile_ops)
+        vm = workload.vm
+        conflicts = vm.profiler.resolver.conflicts_seen
+
+        # Overhead simulation: what would tracking 20% of method calls
+        # cost?  Measured as 20% of the fast→slow execution-time gap.
+        base = _run_dacapo(spec, "real", profiled=False, operations=overhead_ops)
+        fast = _run_dacapo(spec, "fast", profiled=True, operations=overhead_ops)
+        slow = _run_dacapo(spec, "slow", profiled=True, operations=overhead_ops)
+        gap = (slow.clock.now_ns - fast.clock.now_ns) / base.clock.now_ns
+        overhead = max(0.0, 0.20 * gap * 100)
+
+        rows.append(
+            Table2Row(
+                benchmark=spec.name,
+                heap_mb=spec.heap_mb,
+                pmc=vm.jit.profiled_call_site_count,
+                pas=vm.jit.profiled_alloc_site_count,
+                conflicts=conflicts,
+                conflict_overhead_percent=overhead,
+            )
+        )
+    return rows
+
+
+def render_table2(rows: Sequence[Table2Row]) -> str:
+    return render_table(
+        ["benchmark", "HS MB", "PMC", "PAS", "CF #", "CF ovh %"],
+        [
+            [
+                r.benchmark,
+                r.heap_mb,
+                r.pmc,
+                r.pas,
+                r.conflicts,
+                "%.2f" % r.conflict_overhead_percent,
+            ]
+            for r in rows
+        ],
+    )

@@ -1,0 +1,185 @@
+"""Lifetime-estimation advice consumed by the pretenuring collector.
+
+Inference produces an estimated age (the GC-cycle count at which most of
+a context's objects die); this table maps allocation contexts to the
+NG2C generation new objects should be allocated into (paper Section 7.1:
+estimated age 0 → young, 1..14 → dynamic generation of the same number,
+15 → old).
+
+Update rules follow Section 6:
+
+* **Lifetime increase**: the OLD table shows survivors reaching higher
+  ages → inference raises the estimate → the advice rises immediately.
+* **Lifetime decrease**: pretenured objects no longer flow through young
+  collections, so the table goes quiet for them; the only signal is
+  heap fragmentation.  The collector reports which contexts own the
+  dead bytes in fragmented regions, and the advice for those contexts
+  is decremented.
+* A context with an established non-zero estimate is *not* reset just
+  because a fresh (post-clear) table snapshot only shows age-0 entries —
+  absence of survival data is expected once pretenuring succeeds.
+
+The table also keeps a per-site default so that, after conflict
+resolution changes the thread-stack-state mix (new context values for
+the same site), allocations do not lose their advice while the new
+contexts accumulate samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.heap.header import MAX_AGE
+from repro.core.context import context_site
+
+
+class AdviceTable:
+    """Context → estimated generation, with per-site defaults.
+
+    Parameters
+    ----------
+    pretenure_min_age:
+        Minimum estimated age worth pretenuring; estimates below it
+        yield generation 0 (plain young allocation).  Copying an object
+        once or twice is cheaper than risking mis-tenuring it.
+    """
+
+    def __init__(self, pretenure_min_age: int = 2, cooldown_passes: int = 2) -> None:
+        if not 0 < pretenure_min_age <= MAX_AGE:
+            raise ValueError("pretenure_min_age must be in 1..%d" % MAX_AGE)
+        if cooldown_passes < 0:
+            raise ValueError("cooldown_passes must be >= 0")
+        self.pretenure_min_age = pretenure_min_age
+        #: hysteresis: after any change, a context's estimate is frozen
+        #: for this many inference passes.  Evacuating a region whose
+        #: objects die gradually (an LRU cache, say) produces *both* a
+        #: raise signal (evacuated survivors age) and a decrement signal
+        #: (evacuated dead bytes) from the same pause — without a
+        #: cooldown the estimate oscillates between generations, strewing
+        #: partially-filled region tails across all of them.
+        self.cooldown_passes = cooldown_passes
+        self._by_context: Dict[int, int] = {}
+        self._site_default: Dict[int, int] = {}
+        #: pass number until which each context's estimate is frozen
+        self._frozen_until: Dict[int, int] = {}
+        self._current_pass = 0
+        #: sites whose contexts disagree (conflict unresolved): no site
+        #: default is served for them
+        self._split_sites: Dict[int, bool] = {}
+        self.updates = 0
+        self.decrements = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def generation_for(self, context: int) -> int:
+        """The generation a new allocation with ``context`` should use."""
+        gen = self._by_context.get(context)
+        if gen is not None:
+            return gen
+        site_id = context_site(context)
+        if self._split_sites.get(site_id):
+            # The site's call paths have different lifetimes; a context
+            # we have no estimate for must stay in the young gen rather
+            # than inherit another path's estimate.
+            return 0
+        return self._site_default.get(site_id, 0)
+
+    def estimate_for(self, context: int) -> Optional[int]:
+        """Raw per-context estimate (None when never estimated)."""
+        return self._by_context.get(context)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._by_context.items())
+
+    def __len__(self) -> int:
+        return len(self._by_context)
+
+    # -- inference updates ----------------------------------------------------------
+
+    def begin_pass(self) -> None:
+        """Advance the hysteresis clock (call once per inference pass)."""
+        self._current_pass += 1
+
+    def _frozen(self, context: int) -> bool:
+        return self._frozen_until.get(context, 0) > self._current_pass
+
+    def _freeze(self, context: int) -> None:
+        self._frozen_until[context] = self._current_pass + self.cooldown_passes
+
+    def update_estimate(self, context: int, estimated_age: int) -> bool:
+        """Apply one inference result.  Returns True when the effective
+        decision for the context changed."""
+        new_gen = self._age_to_generation(estimated_age)
+        current = self._by_context.get(context)
+        if current is None:
+            if new_gen == 0:
+                # Nothing to record: young is already the default.
+                return False
+            self._by_context[context] = new_gen
+            self._freeze(context)
+            self._refresh_site_default(context_site(context))
+            self.updates += 1
+            return True
+        if new_gen > current and not self._frozen(context):
+            # Lifetime increase: the table evidenced longer survival.
+            self._by_context[context] = new_gen
+            self._freeze(context)
+            self._refresh_site_default(context_site(context))
+            self.updates += 1
+            return True
+        # Equal, lower, or in cooldown: keep the standing decision
+        # (decreases arrive through the fragmentation path, not through
+        # quiet tables).
+        return False
+
+    def _age_to_generation(self, estimated_age: int) -> int:
+        if estimated_age < self.pretenure_min_age:
+            return 0
+        # A saturated age (15) is ambiguous: the 4 age bits cannot
+        # distinguish "dies at age 20" from "lives forever".  Such
+        # contexts go to the deepest *dynamic* generation rather than
+        # the shared old generation, so a continuously-dying population
+        # (an LRU cache, say) fragments only among its own kind.
+        return min(estimated_age, MAX_AGE - 1)
+
+    # -- fragmentation feedback --------------------------------------------------------
+
+    def decrement(self, context: int) -> bool:
+        """Lower a context's estimate after it caused fragmentation."""
+        current = self._by_context.get(context)
+        if not current or self._frozen(context):
+            return False
+        self._by_context[context] = current - 1
+        self._freeze(context)
+        self._refresh_site_default(context_site(context))
+        self.decrements += 1
+        return True
+
+    # -- site defaults ---------------------------------------------------------------------
+
+    def _refresh_site_default(self, site_id: int) -> None:
+        if self._split_sites.get(site_id):
+            # Once split (conflict detected), always split.
+            return
+        gens = {
+            gen
+            for context, gen in self._by_context.items()
+            if context_site(context) == site_id
+        }
+        if len(gens) == 1:
+            self._site_default[site_id] = next(iter(gens))
+        else:
+            # Contexts disagree: serving a site default would mis-tenure
+            # one of the call paths, so serve none.
+            self._site_default.pop(site_id, None)
+            self._split_sites[site_id] = True
+
+    def mark_split(self, site_id: int) -> None:
+        """Mark a site as reached through call paths with different
+        lifetimes (a conflict was detected for it): its contexts must be
+        advised individually, never through a site default."""
+        self._split_sites[site_id] = True
+        self._site_default.pop(site_id, None)
+
+    def site_is_split(self, site_id: int) -> bool:
+        return self._split_sites.get(site_id, False)

@@ -1,0 +1,47 @@
+"""Allocation-context encoding.
+
+An allocation context is the 32-bit tuple the paper defines in
+Section 3: the 16-bit allocation-site identifier (method + bytecode
+index, assigned at JIT time) in the high half, and the allocating
+thread's 16-bit stack state in the low half.
+
+The bit layout lives in :mod:`repro.heap.header` (it must, because the
+context is stored in the object header); this module re-exports the
+operations under profiling-centric names and adds the validity checks
+ROLP applies before trusting a context read back from a header.
+"""
+
+from __future__ import annotations
+
+from repro.heap.header import (
+    MASK_16,
+    context_site,
+    context_stack_state,
+    pack_context,
+)
+
+__all__ = [
+    "MASK_16",
+    "context_site",
+    "context_stack_state",
+    "encode",
+    "is_plausible",
+    "pack_context",
+    "site_base_context",
+]
+
+#: encode(site_id, stack_state) -> 32-bit context
+encode = pack_context
+
+
+def site_base_context(site_id: int) -> int:
+    """The context of an allocation at ``site_id`` with zero stack state
+    — the only contexts that exist before any call-site tracking is
+    enabled."""
+    return pack_context(site_id, 0)
+
+
+def is_plausible(context: int) -> bool:
+    """Cheap structural sanity check: a context with site id 0 can never
+    have been installed by the profiler (0 is reserved)."""
+    return context != 0 and context_site(context) != 0

@@ -1,0 +1,199 @@
+"""The Object Lifetime Distribution (OLD) table.
+
+The global hashtable at the heart of ROLP (paper Figure 1): one row per
+allocation context, sixteen columns — one per possible object age
+(HotSpot's 4 age bits).  Application threads increment column 0 on each
+profiled allocation; GC worker threads move survivors from column
+``age`` to column ``age+1``.
+
+Faithfully modelled details:
+
+* **Pre-sized rows** (Section 7.5): the table starts with one row per
+  possible allocation-site identifier (2^16 entries, ~4 MB); whenever a
+  context conflict is found for a site, the table grows by another 2^16
+  entries to accommodate that site's stack-state values (+4 MB each).
+  The Python dict is sparse, but the *memory accounting* follows the
+  paper's sizing formula so Table 1/2's OLD column can be reproduced.
+* **Unsynchronized mutator updates** (Section 7.6): application threads
+  race on the global table without synchronization; a (tiny,
+  configurable, deterministic) fraction of increments is lost.
+* **Per-GC-worker private tables** (Section 7.6): GC threads record
+  survival updates into private tables merged into the global one at
+  the end of the collection.
+* **Validity filtering**: survival updates are discarded for
+  biased-locked objects and for contexts that do not match any table
+  entry (e.g. stale bias thread pointers).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.heap.header import MAX_AGE, NUM_AGES
+from repro.core.context import context_site
+
+#: bytes per table cell (a 32-bit counter, per the paper's 4-byte math)
+CELL_BYTES = 4
+#: rows added per sizing step (one per possible site id / stack state)
+ROWS_PER_STEP = 1 << 16
+#: bytes per sizing step: 4 B * 16 columns * 2^16 rows = 4 MiB
+STEP_BYTES = CELL_BYTES * NUM_AGES * ROWS_PER_STEP
+
+
+class WorkerTable:
+    """A GC worker thread's private survival-update buffer."""
+
+    __slots__ = ("updates",)
+
+    def __init__(self) -> None:
+        #: (context, from_age) -> count of survivors observed
+        self.updates: Dict[Tuple[int, int], int] = {}
+
+    def record_survival(self, context: int, age: int) -> None:
+        key = (context, age)
+        self.updates[key] = self.updates.get(key, 0) + 1
+
+    def clear(self) -> None:
+        self.updates.clear()
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+
+class OldTable:
+    """The global Object Lifetime Distribution table."""
+
+    def __init__(
+        self,
+        increment_loss_probability: float = 0.0,
+        seed: int = 0x01D,
+    ) -> None:
+        if not 0.0 <= increment_loss_probability < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        self._rows: Dict[int, List[int]] = {}
+        #: allocation-site ids with a table row family (registered when
+        #: the owning method is instrumented)
+        self.registered_sites: Set[int] = set()
+        #: sites whose row family was expanded after a conflict
+        self.expanded_sites: Set[int] = set()
+        self.increment_loss_probability = increment_loss_probability
+        self._rng = random.Random(seed)
+        self.lost_increments = 0
+        self.discarded_survivals = 0
+
+    # -- registration -------------------------------------------------------------
+
+    def register_site(self, site_id: int) -> None:
+        """A jitted allocation site now has a row family in the table."""
+        if site_id:
+            self.registered_sites.add(site_id)
+
+    def expand_for_conflict(self, site_id: int) -> None:
+        """Grow the table to fit all stack-state rows of a conflicted
+        site (Section 7.5's +2^16-entries step)."""
+        if site_id in self.registered_sites:
+            self.expanded_sites.add(site_id)
+
+    # -- validity -----------------------------------------------------------------
+
+    def is_known_context(self, context: int) -> bool:
+        """Whether a header context matches a table entry.
+
+        Contexts whose site id was never registered (stale biased-lock
+        thread pointers, cold-code zeros) are rejected; this is the
+        paper's discard-if-not-in-table rule.
+        """
+        if context == 0:
+            return False
+        return context_site(context) in self.registered_sites
+
+    # -- mutator updates --------------------------------------------------------------
+
+    def increment_alloc(self, context: int) -> bool:
+        """Count one allocation (column 0) for ``context``.
+
+        Returns False when the increment was lost to the unsynchronized
+        race (modelled probabilistically, deterministic seed).
+        """
+        if not self.is_known_context(context):
+            return False
+        if (
+            self.increment_loss_probability
+            and self._rng.random() < self.increment_loss_probability
+        ):
+            self.lost_increments += 1
+            return False
+        row = self._row(context)
+        row[0] += 1
+        return True
+
+    # -- GC updates ---------------------------------------------------------------------
+
+    def apply_survival(self, context: int, age: int) -> None:
+        """Move one object from column ``age`` to ``age + 1``.
+
+        Saturated objects (age 15) no longer move.  The decrement floors
+        at zero: an allocation whose column-0 increment was lost can
+        still produce a survival record.
+        """
+        if age >= MAX_AGE:
+            return
+        row = self._row(context)
+        if row[age] > 0:
+            row[age] -= 1
+        row[age + 1] += 1
+
+    def merge_worker(self, worker: WorkerTable) -> None:
+        """Fold a GC worker's private table into the global one (done at
+        the end of each collection, under the safepoint)."""
+        for (context, age), count in worker.updates.items():
+            for _ in range(count):
+                self.apply_survival(context, age)
+        worker.clear()
+
+    # -- reading ----------------------------------------------------------------------------
+
+    def _row(self, context: int) -> List[int]:
+        row = self._rows.get(context)
+        if row is None:
+            row = [0] * NUM_AGES
+            self._rows[context] = row
+        return row
+
+    def curve(self, context: int) -> List[int]:
+        """The age curve for one context (a copy; zeros if absent)."""
+        return list(self._rows.get(context, [0] * NUM_AGES))
+
+    def contexts(self) -> Iterator[int]:
+        return iter(self._rows.keys())
+
+    def contexts_for_site(self, site_id: int) -> List[int]:
+        return [c for c in self._rows if context_site(c) == site_id]
+
+    def total_objects(self, context: int) -> int:
+        return sum(self._rows.get(context, ()))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- freshness ----------------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop all counts (done after each inference pass, Section 4),
+        keeping registrations and sizing."""
+        self._rows.clear()
+
+    # -- memory accounting -------------------------------------------------------------------------
+
+    @property
+    def conflicts_expanded(self) -> int:
+        return len(self.expanded_sites)
+
+    def memory_bytes(self) -> int:
+        """Paper's sizing: 4 MB base + 4 MB per conflict-expanded site.
+
+        (Formula from Section 7.5: 2^16 * (1 + N) rows of 16 4-byte
+        cells, N = number of conflicts.)
+        """
+        return STEP_BYTES * (1 + self.conflicts_expanded)

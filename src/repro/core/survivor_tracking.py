@@ -1,0 +1,97 @@
+"""Dynamic survivor-tracking shutdown (paper Section 7.4).
+
+Once pretenuring is in effect, the dominant remaining GC-pause component
+is ROLP's own survivor-processing code (header read + OLD-table update
+per surviving object).  When profiling decisions have stabilized —
+i.e. the last inference pass changed nothing — ROLP turns the survivor
+tracking code off, shaving that cost from every pause.  It turns the
+code back on if the average pause time regresses by more than a
+configurable fraction (10% by default) over the last value recorded
+while tracking was active, which signals that the workload shifted and
+fresh lifetime data is needed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class SurvivorTrackingController:
+    """On/off controller for the survivor-processing profiling code."""
+
+    def __init__(
+        self,
+        regression_threshold: float = 0.10,
+        window: int = 8,
+        stable_passes_required: int = 3,
+    ) -> None:
+        if regression_threshold <= 0:
+            raise ValueError("regression threshold must be positive")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if stable_passes_required <= 0:
+            raise ValueError("stable_passes_required must be positive")
+        self.regression_threshold = regression_threshold
+        self.window = window
+        #: consecutive no-change inference passes before shutting down —
+        #: one lucky stable pass right after the first decision landed
+        #: does not mean the profile has converged
+        self.stable_passes_required = stable_passes_required
+        self.enabled = True
+        #: average pause recorded the last time tracking was active
+        self.baseline_pause_ns: Optional[float] = None
+        self._recent: List[float] = []
+        self._stable_streak = 0
+        self.shutdowns = 0
+        self.reactivations = 0
+
+    # -- pause observation -------------------------------------------------------
+
+    def observe_pause(self, pause_ns: float) -> None:
+        """Record a completed GC pause (called every cycle)."""
+        self._recent.append(pause_ns)
+        if len(self._recent) > self.window:
+            self._recent.pop(0)
+        if not self.enabled and self._regressed():
+            self.enabled = True
+            self.reactivations += 1
+
+    def _average(self) -> Optional[float]:
+        if not self._recent:
+            return None
+        return sum(self._recent) / len(self._recent)
+
+    def _regressed(self) -> bool:
+        average = self._average()
+        if average is None or self.baseline_pause_ns is None:
+            return False
+        return average > self.baseline_pause_ns * (1.0 + self.regression_threshold)
+
+    # -- inference feedback ---------------------------------------------------------
+
+    def on_inference(self, decisions_changed: bool, have_decisions: bool = True) -> None:
+        """Called after each inference pass.
+
+        A stable pass (no decision changed) while tracking is on means
+        the profile has converged: record the baseline and switch the
+        survivor code off.  An unstable pass keeps (or puts) it on.
+
+        ``have_decisions`` guards against declaring convergence before
+        anything was learned: a pass that changed nothing because the
+        advice table is still *empty* is warmup, not stability —
+        shutting tracking down then would starve inference of survival
+        data forever.
+        """
+        if decisions_changed:
+            self._stable_streak = 0
+            if not self.enabled:
+                self.enabled = True
+                self.reactivations += 1
+            return
+        if not have_decisions:
+            return
+        self._stable_streak += 1
+        if self.enabled and self._stable_streak >= self.stable_passes_required:
+            self.baseline_pause_ns = self._average()
+            self.enabled = False
+            self.shutdowns += 1

@@ -1,0 +1,162 @@
+"""Collector base classes and pause accounting.
+
+Every collector owns the heap, the clock and the bandwidth cost model,
+and records each stop-the-world pause as a :class:`PauseEvent`.  The
+metrics package turns those records into the percentile curves and
+histograms of Figures 8 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.heap.bandwidth import BandwidthModel
+from repro.heap.heap import OutOfMemoryError, RegionHeap
+from repro.heap.object_model import IMMORTAL, SimObject
+from repro.heap.region import Space
+from repro.runtime.clock import SimClock
+from repro.runtime.hooks import NullProfiler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.vm import JavaVM
+
+
+@dataclass(frozen=True)
+class PauseEvent:
+    """One stop-the-world pause."""
+
+    gc_number: int
+    start_ns: int
+    duration_ns: float
+    kind: str
+    bytes_copied: int = 0
+    survivors: int = 0
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+
+class Collector:
+    """Base collector: allocation front-end + pause bookkeeping.
+
+    Subclasses implement :meth:`_placement` (where a new object goes)
+    and :meth:`_maybe_collect` (triggering policy), plus their actual
+    collection algorithms.
+    """
+
+    name = "base"
+    #: multiplier on mutator work (read/write-barrier tax; >1 for ZGC)
+    mutator_overhead_factor = 1.0
+
+    def __init__(
+        self,
+        heap: RegionHeap,
+        bandwidth: Optional[BandwidthModel] = None,
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        self.heap = heap
+        self.bandwidth = bandwidth or BandwidthModel()
+        self.clock = clock or SimClock()
+        self.pauses: List[PauseEvent] = []
+        self.gc_cycles = 0
+        self.vm: Optional["JavaVM"] = None
+        self.bytes_copied_total = 0
+        self.objects_promoted = 0
+        #: total bytes allocated through this collector
+        self.bytes_allocated = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_vm(self, vm: "JavaVM") -> None:
+        self.vm = vm
+
+    @property
+    def profiler(self) -> NullProfiler:
+        return self.vm.profiler if self.vm is not None else _NULL_PROFILER
+
+    # -- allocation -------------------------------------------------------------
+
+    def allocate(
+        self,
+        size: int,
+        context: int = 0,
+        death_time_ns: float = IMMORTAL,
+        gen_hint: int = 0,
+    ) -> SimObject:
+        """Allocate a new object, collecting first if policy demands."""
+        self._maybe_collect()
+        self.bytes_allocated += size
+        obj = SimObject(size, self.clock.now_ns, death_time_ns, context)
+        space, gen = self._placement(obj, context, gen_hint)
+        try:
+            self.heap.allocate(obj, space, gen)
+        except OutOfMemoryError:
+            self.collect_full("allocation-failure")
+            self.heap.allocate(obj, space, gen)  # raises again if truly full
+        return obj
+
+    # -- policy hooks ------------------------------------------------------------
+
+    def _placement(self, obj: SimObject, context: int, gen_hint: int):
+        """Return ``(space, gen)`` for a new object."""
+        return Space.EDEN, 0
+
+    def _maybe_collect(self) -> None:
+        """Trigger collections per the collector's policy."""
+
+    def collect_full(self, reason: str) -> None:
+        """Last-resort full collection (default: no-op base)."""
+
+    # -- pause bookkeeping ------------------------------------------------------------
+
+    def _record_pause(
+        self,
+        kind: str,
+        duration_ns: float,
+        bytes_copied: int = 0,
+        survivors: int = 0,
+        count_cycle: bool = True,
+    ) -> PauseEvent:
+        """Advance the clock by a pause and record it.
+
+        ``count_cycle`` distinguishes full GC *cycles* (the profiler's
+        unit of time) from auxiliary pauses (e.g. CMS initial-mark).
+        """
+        start = self.clock.now_ns
+        self.clock.advance_pause(duration_ns)
+        if count_cycle:
+            self.gc_cycles += 1
+        event = PauseEvent(
+            gc_number=self.gc_cycles,
+            start_ns=start,
+            duration_ns=duration_ns,
+            kind=kind,
+            bytes_copied=bytes_copied,
+            survivors=survivors,
+        )
+        self.pauses.append(event)
+        self.bytes_copied_total += bytes_copied
+        return event
+
+    def _end_of_cycle(self, pause_ns: float) -> None:
+        """Common end-of-GC duties: profiler merge + safepoint checks."""
+        self.profiler.on_gc_end(self.gc_cycles, self.clock.now_ns, pause_ns)
+        if self.vm is not None:
+            self.vm.at_safepoint()
+
+    # -- statistics --------------------------------------------------------------------
+
+    def pause_durations_ms(self) -> List[float]:
+        return [p.duration_ms for p in self.pauses]
+
+    def max_memory_bytes(self) -> int:
+        return self.heap.max_committed_bytes
+
+
+class _NullProfilerSingleton(NullProfiler):
+    pass
+
+
+_NULL_PROFILER = _NullProfilerSingleton()

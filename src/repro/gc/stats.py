@@ -1,0 +1,45 @@
+"""Collector statistics helpers shared by reports and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.gc.collector import Collector, PauseEvent
+
+
+def pause_summary(collector: Collector) -> Dict[str, float]:
+    """Quick numeric summary of a collector's pause behaviour."""
+    durations = collector.pause_durations_ms()
+    if not durations:
+        return {
+            "count": 0,
+            "total_ms": 0.0,
+            "mean_ms": 0.0,
+            "max_ms": 0.0,
+        }
+    return {
+        "count": len(durations),
+        "total_ms": sum(durations),
+        "mean_ms": sum(durations) / len(durations),
+        "max_ms": max(durations),
+    }
+
+
+def pauses_by_kind(collector: Collector) -> Dict[str, List[PauseEvent]]:
+    """Group recorded pauses by pause kind."""
+    groups: Dict[str, List[PauseEvent]] = {}
+    for pause in collector.pauses:
+        groups.setdefault(pause.kind, []).append(pause)
+    return groups
+
+
+def copy_ratio(collector: Collector) -> float:
+    """Bytes copied by the GC per byte allocated by the application.
+
+    The paper's central claim is that pretenuring reduces this ratio;
+    it is the mechanism behind every pause-time improvement.
+    """
+    vm = collector.vm
+    if vm is None or vm.bytes_allocated == 0:
+        return 0.0
+    return collector.bytes_copied_total / vm.bytes_allocated

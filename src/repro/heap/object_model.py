@@ -1,0 +1,116 @@
+"""Simulated heap objects.
+
+A :class:`SimObject` stands in for a Java object on the simulated heap.
+It carries:
+
+* the 64-bit header (allocation context, age, bias/lock bits) that ROLP
+  reads and writes — see :mod:`repro.heap.header`;
+* its size in bytes, used for region accounting and copy costs;
+* a hidden *death time* assigned by the workload.  This is the liveness
+  oracle: the collector uses it to decide reachability (trace-driven GC
+  simulation), but the profiler never reads it — ROLP must infer
+  lifetimes from survival counts exactly as in the paper.
+
+Objects are deliberately lightweight (``__slots__``) because large-scale
+workloads allocate millions of them per run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.heap import header as hdr
+
+#: Death time meaning "still referenced; lifetime unknown/unbounded yet".
+IMMORTAL = float("inf")
+
+
+class SimObject:
+    """A single simulated object.
+
+    Parameters
+    ----------
+    size:
+        Object size in bytes (header included).
+    alloc_time_ns:
+        Virtual time of allocation.
+    death_time_ns:
+        Virtual time at which the workload drops the last reference.
+        ``IMMORTAL`` while unknown; workloads may shorten it later via
+        :meth:`kill_at` (e.g. a memtable flush frees its entries).
+    context:
+        32-bit allocation context installed in the header (0 when the
+        allocation site is not profiled, e.g. cold code).
+    """
+
+    __slots__ = (
+        "size",
+        "alloc_time_ns",
+        "death_time_ns",
+        "header",
+        "region",
+        "copies",
+    )
+
+    def __init__(
+        self,
+        size: int,
+        alloc_time_ns: int,
+        death_time_ns: float = IMMORTAL,
+        context: int = 0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("object size must be positive")
+        self.size = int(size)
+        self.alloc_time_ns = int(alloc_time_ns)
+        self.death_time_ns = death_time_ns
+        self.header = hdr.fresh_header(context)
+        #: back-pointer to the region currently holding this object
+        self.region = None  # type: Optional[object]
+        #: number of times the object has been copied by the GC
+        self.copies = 0
+
+    # -- liveness oracle ----------------------------------------------------
+
+    def is_live(self, now_ns: int) -> bool:
+        """Ground-truth reachability at virtual time ``now_ns``."""
+        return self.death_time_ns > now_ns
+
+    def kill_at(self, death_time_ns: float) -> None:
+        """Workload callback: the last reference is dropped at this time."""
+        if death_time_ns < self.alloc_time_ns:
+            raise ValueError("object cannot die before it is allocated")
+        self.death_time_ns = death_time_ns
+
+    # -- header convenience --------------------------------------------------
+
+    @property
+    def age(self) -> int:
+        return hdr.get_age(self.header)
+
+    @property
+    def context(self) -> int:
+        return hdr.extract_context(self.header)
+
+    @property
+    def biased_locked(self) -> bool:
+        return hdr.is_biased_locked(self.header)
+
+    def grow_older(self) -> None:
+        """Survive one GC cycle (age saturates at :data:`header.MAX_AGE`)."""
+        self.header = hdr.increment_age(self.header)
+
+    def bias_lock(self, thread_pointer: int) -> None:
+        """Bias-lock toward a thread, clobbering the profiling context."""
+        self.header = hdr.bias_lock(self.header, thread_pointer)
+
+    def lifetime_ns(self) -> float:
+        """Ground-truth lifetime (oracle only; not visible to ROLP)."""
+        return self.death_time_ns - self.alloc_time_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SimObject(size=%d, ctx=0x%08x, age=%d)" % (
+            self.size,
+            self.context,
+            self.age,
+        )

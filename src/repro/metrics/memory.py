@@ -1,0 +1,41 @@
+"""Memory-footprint accounting.
+
+Max memory usage normalized to G1 is the right-hand plot of Figure 10:
+ROLP/NG2C must match G1 while ZGC's headroom + floating garbage costs
+noticeably more.  The profiler's own footprint (the OLD table) is the
+``OLD`` column of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gc.collector import Collector
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Peak footprint of one run."""
+
+    heap_max_bytes: int
+    old_table_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.heap_max_bytes + self.old_table_bytes
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / (1 << 20)
+
+
+def measure(collector: Collector, profiler: Optional[object] = None) -> MemoryReport:
+    """Collect the peak heap footprint plus the profiler's table size."""
+    old_table_bytes = 0
+    if profiler is not None and hasattr(profiler, "old_table_memory_bytes"):
+        old_table_bytes = profiler.old_table_memory_bytes()
+    return MemoryReport(
+        heap_max_bytes=collector.max_memory_bytes(),
+        old_table_bytes=old_table_bytes,
+    )

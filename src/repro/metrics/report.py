@@ -1,0 +1,56 @@
+"""Plain-text report rendering for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)] if rows else [
+        [str(h)] for h in headers
+    ]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_percentile_series(
+    series: Dict[str, Dict[float, float]],
+    title: str = "",
+) -> str:
+    """Render Figure 8-style percentile curves, one row per collector."""
+    if not series:
+        return title
+    percentiles = sorted(next(iter(series.values())).keys())
+    headers = ["collector"] + ["p%g" % p for p in percentiles]
+    rows: List[List[object]] = []
+    for name, profile in series.items():
+        rows.append([name] + ["%.2f" % profile[p] for p in percentiles])
+    body = render_table(headers, rows)
+    return ("%s\n%s" % (title, body)) if title else body
+
+
+def render_histogram_series(
+    series: Dict[str, List],
+    title: str = "",
+) -> str:
+    """Render Figure 9-style pause-count-per-interval histograms."""
+    if not series:
+        return title
+    labels = [label for label, _ in next(iter(series.values()))]
+    headers = ["collector"] + labels
+    rows: List[List[object]] = []
+    for name, histogram in series.items():
+        rows.append([name] + [count for _, count in histogram])
+    body = render_table(headers, rows)
+    return ("%s\n%s" % (title, body)) if title else body

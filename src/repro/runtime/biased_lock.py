@@ -1,0 +1,50 @@
+"""Biased locking model.
+
+HotSpot's biased locking stores the owning thread's pointer in the upper
+header bits — the same bits ROLP uses for the allocation context.  ROLP
+accepts the resulting profiling loss (Section 3.2.2): a bias-locked
+object's context is clobbered and the object is discarded for profiling.
+
+The simulator exercises this path so the loss-of-information behaviour
+(and the rare stale-context-matches-table accident) is testable.
+"""
+
+from __future__ import annotations
+
+from repro.heap.object_model import SimObject
+from repro.runtime.thread import SimThread
+
+
+class BiasedLockManager:
+    """Tracks bias-lock operations and their profiling side effects."""
+
+    def __init__(self) -> None:
+        self.locks_taken = 0
+        self.revocations = 0
+        self.contexts_clobbered = 0
+
+    def lock(self, thread: SimThread, obj: SimObject) -> None:
+        """Bias-lock ``obj`` toward ``thread``.
+
+        The thread "pointer" written to the header is derived from the
+        thread id; it overwrites the allocation context.
+        """
+        if obj.context:
+            self.contexts_clobbered += 1
+        # A plausible thread-pointer value: aligned, non-zero.
+        thread_pointer = (0x7F00_0000 | (thread.thread_id << 8)) & 0xFFFF_FFFF
+        obj.bias_lock(thread_pointer)
+        thread.biased_objects += 1
+        self.locks_taken += 1
+
+    def revoke(self, obj: SimObject) -> None:
+        """Revoke the bias (e.g. on contention).
+
+        The stale thread pointer remains in the context bits — from the
+        profiler's view the context is corrupt and will (almost always)
+        miss the OLD table and be discarded.
+        """
+        from repro.heap import header as hdr
+
+        obj.header = hdr.revoke_bias(obj.header)
+        self.revocations += 1

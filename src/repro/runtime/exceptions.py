@@ -1,0 +1,37 @@
+"""Simulated application exceptions and unwind semantics.
+
+The paper (Section 7.2.2) notes that an unhandled exception skips the
+profiling code installed *after* a call instruction, so the thread stack
+state would be left with stale increments.  ROLP fixes this by hooking
+the JVM's rethrow path and rebalancing the state as each frame is
+popped.
+
+In the simulator, :class:`SimException` is raised by workload bodies via
+``ctx.throw_exception(...)``; the interpreter's frame management decides
+— based on the VM flag ``fix_exception_unwind`` — whether the unwind
+rebalances the stack state (ROLP's hook installed) or leaves it
+corrupted (the naive implementation, used by tests and the ablation
+bench to demonstrate why the hook matters).
+"""
+
+from __future__ import annotations
+
+
+class SimException(Exception):
+    """An application-level exception inside the simulated program.
+
+    ``handled_depth`` frames above the throw point there is a handler;
+    the unwind pops frames until it reaches that handler (or the root,
+    terminating the operation).
+    """
+
+    def __init__(self, message: str = "", handled_depth: int = 1) -> None:
+        super().__init__(message)
+        if handled_depth < 0:
+            raise ValueError("handled_depth must be >= 0")
+        self.handled_depth = handled_depth
+        #: frames already unwound while the exception propagates
+        self.unwound = 0
+
+    def should_stop_at(self, frames_popped: int) -> bool:
+        return frames_popped >= self.handled_depth

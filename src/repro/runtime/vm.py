@@ -1,0 +1,208 @@
+"""The simulated JVM facade.
+
+Wires together the clock, heap, collector, JIT, threads and (optionally)
+the ROLP profiler, and exposes the launch-time flags the paper's
+artifact exposes (ROLP is "a simple JVM command line flag").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.heap.header import install_context
+from repro.heap.object_model import IMMORTAL, SimObject
+from repro.runtime.biased_lock import BiasedLockManager
+from repro.runtime.clock import SimClock
+from repro.runtime.exceptions import SimException
+from repro.runtime.hooks import NullProfiler
+from repro.runtime.interpreter import ExecutionContext
+from repro.runtime.jit import JitCompiler
+from repro.runtime.method import AllocSite, CallSite, Method
+from repro.runtime.thread import SimThread
+
+#: Figure 6 profiling levels for call-site instrumentation.
+CALL_PROFILING_MODES = ("none", "fast", "real", "slow")
+
+
+@dataclass
+class VMFlags:
+    """Launch-time flags (the subset the paper's evaluation varies)."""
+
+    #: JIT compile threshold (invocations)
+    compile_threshold: int = 100
+    #: inlining size bound
+    inline_max_size: int = 35
+    #: Figure 6 mode: "none" (no call profiling code), "fast" (branch
+    #: only), "real" (branch + enabled sites update), "slow" (all sites
+    #: update)
+    call_profiling_mode: str = "real"
+    #: ROLP's hook on the JVM rethrow path (Section 7.2.2)
+    fix_exception_unwind: bool = True
+    #: base mutator cost per allocation (object init, TLAB bump)
+    alloc_base_ns: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.call_profiling_mode not in CALL_PROFILING_MODES:
+            raise ValueError(
+                "call_profiling_mode must be one of %s" % (CALL_PROFILING_MODES,)
+            )
+
+
+class JavaVM:
+    """A simulated JVM instance.
+
+    Parameters
+    ----------
+    collector:
+        Any :class:`repro.gc.collector.Collector`; the VM attaches
+        itself so the collector can run safepoint duties.
+    profiler:
+        A :class:`~repro.runtime.hooks.NullProfiler` (baseline) or a
+        :class:`repro.core.profiler.RolpProfiler`.
+    """
+
+    def __init__(
+        self,
+        collector: "repro.gc.collector.Collector",  # noqa: F821
+        profiler: Optional[NullProfiler] = None,
+        flags: Optional[VMFlags] = None,
+    ) -> None:
+        self.flags = flags or VMFlags()
+        self.collector = collector
+        self.clock: SimClock = collector.clock
+        self.profiler = profiler or NullProfiler()
+        self.jit = JitCompiler(
+            compile_threshold=self.flags.compile_threshold,
+            inline_max_size=self.flags.inline_max_size,
+        )
+        self.biased_locks = BiasedLockManager()
+        self.threads: List[SimThread] = []
+        self._next_thread_id = 1
+        self.exceptions_thrown = 0
+        self.allocations = 0
+        self.bytes_allocated = 0
+        #: mutator nanoseconds spent purely on profiling code
+        self.profiling_tax_ns = 0.0
+        collector.attach_vm(self)
+
+    # -- threads ------------------------------------------------------------------
+
+    def spawn_thread(self, name: str = "") -> SimThread:
+        thread = SimThread(self._next_thread_id, name)
+        self._next_thread_id += 1
+        self.threads.append(thread)
+        return thread
+
+    def context(self, thread: SimThread) -> ExecutionContext:
+        return ExecutionContext(self, thread)
+
+    def run(self, thread: SimThread, method: Method, *args, **kwargs):
+        """Run a root invocation (an 'operation') on ``thread``.
+
+        An exception that no frame handles terminates the operation
+        (the thread's uncaught-exception boundary) and yields None.
+        """
+        try:
+            return self.context(thread).call(0, method, *args, **kwargs)
+        except SimException:
+            return None
+
+    # -- time / cost accounting -----------------------------------------------------
+
+    def charge_mutator(self, ns: float) -> None:
+        self.clock.advance_mutator(ns * self.collector.mutator_overhead_factor)
+
+    def charge_profiling(self, ns: float) -> None:
+        """Mutator cost attributable to profiling instructions."""
+        if ns:
+            self.profiling_tax_ns += ns
+            self.charge_mutator(ns)
+
+    # -- call-site profiling (Figure 6's four levels) -----------------------------------
+
+    def call_profiling_increment(self, site: CallSite) -> int:
+        """Decide the stack-state increment for one dynamic call, and
+        charge the corresponding profiling cost.
+
+        Returns 0 when the stack state must not be updated for this call
+        (profiling off / fast branch taken).
+        """
+        if not site.instrumented:
+            return 0
+        mode = self.flags.call_profiling_mode
+        profiler = self.profiler
+        if mode == "none":
+            return 0
+        if mode == "fast":
+            self.charge_profiling(2 * profiler.call_fast_ns)
+            return 0
+        if mode == "slow":
+            self.charge_profiling(2 * profiler.call_slow_ns)
+            return site.increment
+        # mode == "real": the conditional branch; enabled sites take the
+        # slow add/sub path, others only pay the test+je.
+        if profiler.call_site_enabled(site):
+            self.charge_profiling(2 * profiler.call_slow_ns)
+            return site.increment
+        self.charge_profiling(2 * profiler.call_fast_ns)
+        return 0
+
+    # -- allocation --------------------------------------------------------------------
+
+    def allocate(
+        self,
+        thread: SimThread,
+        site: AllocSite,
+        size: int,
+        death_time_ns: float,
+        gen_hint: int = 0,
+    ) -> SimObject:
+        """Allocate through the collector, resolving the ROLP context."""
+        self.charge_mutator(self.flags.alloc_base_ns)
+        context = 0
+        sampled = True
+        if site.profiled:
+            context = self.profiler.allocation_context(thread, site)
+            if context:
+                sampled = self.profiler.sample_allocation(site)
+                # Unsampled allocations still use the context for
+                # pretenuring advice, but skip the header install and
+                # table increment (and most of the profiling cost).
+                self.charge_profiling(
+                    self.profiler.alloc_profile_ns
+                    if sampled
+                    else self.profiler.alloc_profile_ns * 0.15
+                )
+        obj = self.collector.allocate(size, context, death_time_ns, gen_hint)
+        if context:
+            if sampled:
+                self.profiler.on_allocation(context, obj)
+            else:
+                obj.header = install_context(obj.header, 0)
+        self.allocations += 1
+        self.bytes_allocated += size
+        return obj
+
+    # -- safepoints -----------------------------------------------------------------------
+
+    def at_safepoint(self) -> None:
+        """End-of-GC safepoint duties: verify/repair every thread's stack
+        state against its real frame stack (Section 7.2.3)."""
+        for thread in self.threads:
+            thread.verify_and_repair()
+
+    # -- statistics -------------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "allocations": self.allocations,
+            "bytes_allocated": self.bytes_allocated,
+            "compiled_methods": len(self.jit.compiled_methods),
+            "profiled_alloc_sites": self.jit.profiled_alloc_site_count,
+            "profiled_call_sites": self.jit.profiled_call_site_count,
+            "gc_cycles": self.collector.gc_cycles,
+            "total_pause_ms": self.clock.total_pause_ns / 1e6,
+            "profiling_tax_ms": self.profiling_tax_ns / 1e6,
+            "now_ms": self.clock.now_ms,
+        }

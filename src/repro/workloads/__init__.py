@@ -1,0 +1,49 @@
+"""Simulated Big Data platforms and benchmarks.
+
+* :class:`CassandraWorkload` — YCSB-driven key-value store (WI/RW/RI);
+* :class:`LuceneWorkload` — text indexing + search;
+* :class:`GraphChiWorkload` — vertex-centric graph computation (CC/PR);
+* :mod:`repro.workloads.dacapo` — the 13-benchmark synthetic DaCapo
+  suite;
+* :func:`run_workload` — the shared run harness.
+"""
+
+from repro.workloads.base import RunResult, Workload, run_workload
+from repro.workloads.dacapo import DACAPO_SPECS, DaCapoWorkload, make_dacapo
+from repro.workloads.graph import GraphChiWorkload
+from repro.workloads.kvstore import CassandraWorkload
+from repro.workloads.search import LuceneWorkload
+from repro.workloads.shifting import PhaseShiftWorkload
+from repro.workloads.ycsb import (
+    MIX_READ_INTENSIVE,
+    MIX_READ_WRITE,
+    MIX_WRITE_INTENSIVE,
+    OperationChooser,
+    OperationMix,
+    RecordSpec,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+
+__all__ = [
+    "CassandraWorkload",
+    "DACAPO_SPECS",
+    "DaCapoWorkload",
+    "GraphChiWorkload",
+    "LuceneWorkload",
+    "MIX_READ_INTENSIVE",
+    "MIX_READ_WRITE",
+    "MIX_WRITE_INTENSIVE",
+    "OperationChooser",
+    "OperationMix",
+    "PhaseShiftWorkload",
+    "RecordSpec",
+    "RunResult",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "Workload",
+    "ZipfianGenerator",
+    "make_dacapo",
+    "run_workload",
+]

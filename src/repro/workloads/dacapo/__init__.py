@@ -1,0 +1,14 @@
+"""Synthetic DaCapo 9.12-bach benchmark suite (13 benchmarks calibrated
+to the paper's Table 2)."""
+
+from repro.workloads.dacapo.specs import DACAPO_SPECS, DaCapoSpec, SPEC_BY_NAME, get_spec
+from repro.workloads.dacapo.synthetic import DaCapoWorkload, make_dacapo
+
+__all__ = [
+    "DACAPO_SPECS",
+    "DaCapoSpec",
+    "DaCapoWorkload",
+    "SPEC_BY_NAME",
+    "get_spec",
+    "make_dacapo",
+]

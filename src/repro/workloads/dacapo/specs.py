@@ -1,0 +1,137 @@
+"""DaCapo 9.12-bach benchmark specifications.
+
+Each spec calibrates a synthetic benchmark to the corresponding real
+DaCapo benchmark's profile as reported in the paper's Table 2:
+
+* ``heap_mb`` — Table 2's heap size, scaled 1:8 for simulator scale
+  (the paper sized each heap to the minimum giving best throughput);
+* ``hot_methods`` / ``alloc_sites`` — sized so the number of *profiled*
+  method calls (PMC) and allocation sites (PAS) land near Table 2's
+  counts scaled 1:10;
+* ``conflicts`` — the number of factory sites reached through call
+  paths with different lifetimes (pmd 6, tomcat 4, tradesoap 3, zero
+  elsewhere — Table 2);
+* the allocation/call/compute mix, which determines where each
+  benchmark falls in Figure 6 (fop is call-heavy → method-call
+  profiling dominates; sunflow is allocation-heavy → allocation
+  profiling dominates; and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class DaCapoSpec:
+    """Shape parameters of one synthetic DaCapo benchmark."""
+
+    name: str
+    #: simulator heap (Table 2 heap scaled 1:8, floor 16 MB)
+    heap_mb: int
+    #: hot (JIT-compiled) methods in the call graph
+    hot_methods: int
+    #: allocation sites spread over the hot methods
+    alloc_sites: int
+    #: method calls executed per operation
+    calls_per_op: int
+    #: objects allocated per operation
+    allocs_per_op: int
+    #: base computation per operation (simulated ns)
+    work_ns_per_op: float
+    #: (young, medium, long) allocation fractions
+    lifetime_mix: Tuple[float, float, float]
+    #: mean object size in bytes
+    obj_bytes: int
+    #: factory sites reached via conflicting call paths (Table 2 CF)
+    conflicts: int
+    #: default operations for a measurement run
+    default_ops: int = 6_000
+
+    def __post_init__(self) -> None:
+        young, medium, long_ = self.lifetime_mix
+        if abs(young + medium + long_ - 1.0) > 1e-9:
+            raise ValueError("lifetime mix must sum to 1")
+
+
+#: Table 2, scaled for the simulator (order matches the paper's table).
+DACAPO_SPECS = (
+    DaCapoSpec(
+        name="avrora", heap_mb=16, hot_methods=20, alloc_sites=18,
+        calls_per_op=37, allocs_per_op=8, work_ns_per_op=5250,
+        lifetime_mix=(0.92, 0.06, 0.02), obj_bytes=96, conflicts=0,
+    ),
+    DaCapoSpec(
+        name="eclipse", heap_mb=64, hot_methods=60, alloc_sites=64,
+        calls_per_op=138, allocs_per_op=36, work_ns_per_op=15000,
+        lifetime_mix=(0.84, 0.12, 0.04), obj_bytes=160, conflicts=0,
+    ),
+    DaCapoSpec(
+        name="fop", heap_mb=48, hot_methods=90, alloc_sites=110,
+        calls_per_op=310, allocs_per_op=52, work_ns_per_op=11875,
+        lifetime_mix=(0.88, 0.09, 0.03), obj_bytes=120, conflicts=0,
+    ),
+    DaCapoSpec(
+        name="h2", heap_mb=64, hot_methods=55, alloc_sites=36,
+        calls_per_op=142, allocs_per_op=44, work_ns_per_op=17500,
+        lifetime_mix=(0.75, 0.17, 0.08), obj_bytes=220, conflicts=0,
+    ),
+    DaCapoSpec(
+        name="jython", heap_mb=24, hot_methods=160, alloc_sites=88,
+        calls_per_op=1180, allocs_per_op=64, work_ns_per_op=18750,
+        lifetime_mix=(0.95, 0.04, 0.01), obj_bytes=72, conflicts=0,
+    ),
+    DaCapoSpec(
+        name="luindex", heap_mb=32, hot_methods=24, alloc_sites=22,
+        calls_per_op=46, allocs_per_op=26, work_ns_per_op=10000,
+        lifetime_mix=(0.80, 0.16, 0.04), obj_bytes=256, conflicts=0,
+    ),
+    DaCapoSpec(
+        name="lusearch", heap_mb=32, hot_methods=28, alloc_sites=30,
+        calls_per_op=56, allocs_per_op=30, work_ns_per_op=8750,
+        lifetime_mix=(0.93, 0.05, 0.02), obj_bytes=200, conflicts=0,
+    ),
+    DaCapoSpec(
+        name="pmd", heap_mb=32, hot_methods=95, alloc_sites=42,
+        calls_per_op=316, allocs_per_op=38, work_ns_per_op=12500,
+        lifetime_mix=(0.86, 0.10, 0.04), obj_bytes=112, conflicts=6,
+    ),
+    DaCapoSpec(
+        name="sunflow", heap_mb=16, hot_methods=18, alloc_sites=40,
+        calls_per_op=35, allocs_per_op=75, work_ns_per_op=11250,
+        lifetime_mix=(0.97, 0.02, 0.01), obj_bytes=64, conflicts=0,
+    ),
+    DaCapoSpec(
+        name="tomcat", heap_mb=48, hot_methods=85, alloc_sites=52,
+        calls_per_op=289, allocs_per_op=40, work_ns_per_op=13750,
+        lifetime_mix=(0.87, 0.10, 0.03), obj_bytes=144, conflicts=4,
+    ),
+    DaCapoSpec(
+        name="tradebeans", heap_mb=48, hot_methods=70, alloc_sites=32,
+        calls_per_op=215, allocs_per_op=30, work_ns_per_op=16250,
+        lifetime_mix=(0.82, 0.13, 0.05), obj_bytes=176, conflicts=0,
+    ),
+    DaCapoSpec(
+        name="tradesoap", heap_mb=48, hot_methods=130, alloc_sites=36,
+        calls_per_op=580, allocs_per_op=42, work_ns_per_op=20000,
+        lifetime_mix=(0.85, 0.11, 0.04), obj_bytes=152, conflicts=3,
+    ),
+    DaCapoSpec(
+        name="xalan", heap_mb=16, hot_methods=75, alloc_sites=48,
+        calls_per_op=204, allocs_per_op=46, work_ns_per_op=10625,
+        lifetime_mix=(0.90, 0.08, 0.02), obj_bytes=104, conflicts=0,
+    ),
+)
+
+SPEC_BY_NAME = {spec.name: spec for spec in DACAPO_SPECS}
+
+
+def get_spec(name: str) -> DaCapoSpec:
+    try:
+        return SPEC_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            "unknown DaCapo benchmark %r (have: %s)"
+            % (name, ", ".join(sorted(SPEC_BY_NAME)))
+        )

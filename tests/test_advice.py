@@ -1,0 +1,160 @@
+"""Tests for the advice table (estimate lifecycle, site defaults,
+split-site semantics, fragmentation decrements, hysteresis)."""
+
+import pytest
+
+from repro.heap.header import MAX_AGE
+from repro.core.advice import AdviceTable
+from repro.core.context import encode
+
+
+def table(**kwargs):
+    return AdviceTable(**kwargs)
+
+
+class TestEstimates:
+    def test_unknown_context_is_young(self):
+        assert table().generation_for(encode(1, 0)) == 0
+
+    def test_estimate_below_min_age_stays_young(self):
+        t = table(pretenure_min_age=2)
+        assert not t.update_estimate(encode(1, 0), 1)
+        assert t.generation_for(encode(1, 0)) == 0
+
+    def test_estimate_maps_age_to_generation(self):
+        t = table()
+        ctx = encode(1, 0)
+        assert t.update_estimate(ctx, 5)
+        assert t.generation_for(ctx) == 5
+
+    def test_saturated_age_routed_to_deepest_dynamic_gen(self):
+        t = table()
+        ctx = encode(1, 0)
+        t.update_estimate(ctx, MAX_AGE)
+        assert t.generation_for(ctx) == MAX_AGE - 1
+
+    def test_lifetime_increase_applied(self):
+        t = table(cooldown_passes=0)
+        ctx = encode(1, 0)
+        t.update_estimate(ctx, 3)
+        assert t.update_estimate(ctx, 7)
+        assert t.generation_for(ctx) == 7
+
+    def test_quiet_table_never_downgrades(self):
+        t = table(cooldown_passes=0)
+        ctx = encode(1, 0)
+        t.update_estimate(ctx, 7)
+        assert not t.update_estimate(ctx, 0)
+        assert t.generation_for(ctx) == 7
+
+    def test_estimate_for_raw_access(self):
+        t = table()
+        ctx = encode(1, 0)
+        assert t.estimate_for(ctx) is None
+        t.update_estimate(ctx, 4)
+        assert t.estimate_for(ctx) == 4
+
+    def test_invalid_min_age(self):
+        with pytest.raises(ValueError):
+            AdviceTable(pretenure_min_age=0)
+        with pytest.raises(ValueError):
+            AdviceTable(pretenure_min_age=99)
+
+
+class TestSiteDefaults:
+    def test_single_context_sets_site_default(self):
+        t = table()
+        t.update_estimate(encode(3, 100), 6)
+        # a sibling context (same site, different stack state) inherits
+        assert t.generation_for(encode(3, 555)) == 6
+
+    def test_split_site_serves_no_default(self):
+        t = table()
+        t.update_estimate(encode(3, 100), 6)
+        t.mark_split(3)
+        assert t.generation_for(encode(3, 555)) == 0
+        # contexts with their own estimate are unaffected
+        assert t.generation_for(encode(3, 100)) == 6
+
+    def test_split_is_permanent(self):
+        t = table(cooldown_passes=0)
+        t.mark_split(3)
+        t.update_estimate(encode(3, 100), 6)
+        assert t.site_is_split(3)
+        assert t.generation_for(encode(3, 555)) == 0
+
+    def test_disagreeing_contexts_drop_default(self):
+        t = table(cooldown_passes=0)
+        t.update_estimate(encode(3, 100), 6)
+        t.update_estimate(encode(3, 200), 9)
+        assert t.generation_for(encode(3, 555)) == 0
+
+
+class TestDecrements:
+    def test_decrement_lowers_by_one(self):
+        t = table(cooldown_passes=0)
+        ctx = encode(1, 0)
+        t.update_estimate(ctx, 6)
+        assert t.decrement(ctx)
+        assert t.generation_for(ctx) == 5
+        assert t.decrements == 1
+
+    def test_decrement_unknown_context_noop(self):
+        assert not table().decrement(encode(1, 0))
+
+    def test_decrement_to_zero_possible(self):
+        t = table(cooldown_passes=0)
+        ctx = encode(1, 0)
+        t.update_estimate(ctx, 2)
+        t.decrement(ctx)
+        t.decrement(ctx)
+        assert t.generation_for(ctx) == 0
+        assert not t.decrement(ctx)  # floor
+
+
+class TestHysteresis:
+    def test_raise_blocked_during_cooldown(self):
+        t = table(cooldown_passes=2)
+        ctx = encode(1, 0)
+        t.update_estimate(ctx, 3)     # change -> frozen for 2 passes
+        assert not t.update_estimate(ctx, 8)
+        t.begin_pass()
+        assert not t.update_estimate(ctx, 8)
+        t.begin_pass()
+        assert t.update_estimate(ctx, 8)
+
+    def test_decrement_blocked_during_cooldown(self):
+        t = table(cooldown_passes=2)
+        ctx = encode(1, 0)
+        t.update_estimate(ctx, 6)
+        assert not t.decrement(ctx)
+        t.begin_pass()
+        t.begin_pass()
+        assert t.decrement(ctx)
+
+    def test_oscillation_damped(self):
+        """Alternating raise/decrement signals move the estimate at most
+        once per cooldown window instead of every pass."""
+        t = table(cooldown_passes=2)
+        ctx = encode(1, 0)
+        t.update_estimate(ctx, 6)
+        changes = 0
+        for _ in range(10):
+            t.begin_pass()
+            if t.update_estimate(ctx, 12):
+                changes += 1
+            if t.decrement(ctx):
+                changes += 1
+        # without hysteresis this alternation would change the estimate
+        # 20 times; the cooldown caps it to roughly once per window
+        assert changes <= 10 // (t.cooldown_passes + 1) + 2
+
+    def test_zero_cooldown_disables_hysteresis(self):
+        t = table(cooldown_passes=0)
+        ctx = encode(1, 0)
+        t.update_estimate(ctx, 3)
+        assert t.update_estimate(ctx, 5)
+
+    def test_invalid_cooldown(self):
+        with pytest.raises(ValueError):
+            AdviceTable(cooldown_passes=-1)

@@ -1,0 +1,75 @@
+"""Tests for the memory-bandwidth copy-cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.heap.bandwidth import BandwidthModel
+
+
+class TestCopyCost:
+    def test_zero_bytes_zero_cost(self):
+        assert BandwidthModel().copy_ns(0) == 0.0
+
+    def test_negative_bytes_zero_cost(self):
+        assert BandwidthModel().copy_ns(-10) == 0.0
+
+    def test_copy_cost_linear_in_bytes(self):
+        model = BandwidthModel()
+        assert model.copy_ns(2_000_000) == pytest.approx(2 * model.copy_ns(1_000_000))
+
+    def test_single_thread_bandwidth(self):
+        model = BandwidthModel(
+            copy_bandwidth_bytes_per_s=1e9, gc_threads=1, parallel_alpha=0.7
+        )
+        # 1 GB at 1 GB/s = 1 s
+        assert model.copy_ns(10**9) == pytest.approx(1e9)
+
+    def test_more_threads_are_faster(self):
+        slow = BandwidthModel(gc_threads=1)
+        fast = BandwidthModel(gc_threads=8)
+        assert fast.copy_ns(10**8) < slow.copy_ns(10**8)
+
+    def test_parallel_scaling_sublinear(self):
+        model = BandwidthModel(gc_threads=8, parallel_alpha=0.7)
+        assert 1.0 < model.parallel_speedup() < 8.0
+
+    @given(threads=st.integers(min_value=1, max_value=64))
+    def test_speedup_at_least_one(self, threads):
+        assert BandwidthModel(gc_threads=threads).parallel_speedup() >= 1.0
+
+
+class TestPauseModel:
+    def test_fixed_costs_floor(self):
+        model = BandwidthModel()
+        pause = model.pause_ns(0, regions_scanned=0)
+        assert pause == model.safepoint_ns + model.root_scan_ns
+
+    def test_region_scan_cost(self):
+        model = BandwidthModel()
+        base = model.pause_ns(0, regions_scanned=0)
+        assert model.pause_ns(0, regions_scanned=4) == pytest.approx(
+            base + 4 * model.region_scan_ns
+        )
+
+    def test_survivor_profiling_cost(self):
+        model = BandwidthModel()
+        base = model.pause_ns(0, 0)
+        with_profiling = model.pause_ns(0, 0, survivors_profiled=1000)
+        assert with_profiling == pytest.approx(base + 1000 * model.survivor_profile_ns)
+
+    @given(
+        copied=st.integers(min_value=0, max_value=1 << 30),
+        regions=st.integers(min_value=0, max_value=1000),
+        survivors=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_pause_monotone_in_all_inputs(self, copied, regions, survivors):
+        model = BandwidthModel()
+        pause = model.pause_ns(copied, regions, survivors)
+        assert pause >= model.pause_ns(0, 0, 0)
+        assert model.pause_ns(copied + 1, regions, survivors) >= pause
+
+    def test_frozen(self):
+        model = BandwidthModel()
+        with pytest.raises(Exception):
+            model.gc_threads = 16

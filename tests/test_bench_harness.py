@@ -1,0 +1,98 @@
+"""Tests for the benchmark harness itself (registry, config, renderers)
+at tiny scales — the full-size assertions live in benchmarks/."""
+
+import os
+
+import pytest
+
+from repro.bench.config import bench_scale, scaled_ops
+from repro.bench.figures import (
+    FIG6_MODES,
+    figure6,
+    figure7,
+    render_figure6,
+    render_figure7,
+)
+from repro.bench.tables import (
+    Table1Row,
+    Table2Row,
+    render_table1,
+    render_table2,
+)
+from repro.bench.workload_registry import (
+    BIG_WORKLOADS,
+    make_big_workload,
+    run_big_workload,
+)
+from repro.workloads.dacapo import get_spec
+
+
+class TestConfig:
+    def test_default_scale_is_one(self, monkeypatch):
+        monkeypatch.delenv("ROLP_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("ROLP_BENCH_SCALE", "0.5")
+        assert bench_scale() == 0.5
+        assert scaled_ops(100_000) == 50_000
+
+    def test_garbage_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("ROLP_BENCH_SCALE", "lots")
+        assert bench_scale() == 1.0
+
+    def test_floor_keeps_runs_meaningful(self, monkeypatch):
+        monkeypatch.setenv("ROLP_BENCH_SCALE", "0.0001")
+        assert scaled_ops(100_000) >= 2_000
+
+
+class TestRegistry:
+    def test_six_workloads(self):
+        assert set(BIG_WORKLOADS) == {
+            "cassandra-wi",
+            "cassandra-rw",
+            "cassandra-ri",
+            "lucene",
+            "graphchi-cc",
+            "graphchi-pr",
+        }
+
+    def test_make_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_big_workload("hbase")
+
+    def test_run_returns_result_and_workload(self):
+        result, workload = run_big_workload("lucene", "g1", operations=500)
+        assert result.workload == "lucene"
+        assert workload.vm is not None
+
+
+class TestRenderers:
+    def test_table1_renders(self):
+        rows = [Table1Row("cassandra-wi", 1.0, 2.0, 2, 5, 8.0)]
+        text = render_table1(rows)
+        assert "cassandra-wi" in text and "OLD MB" in text
+
+    def test_table2_renders(self):
+        rows = [Table2Row("pmd", 32, 100, 50, 6, 1.2)]
+        text = render_table2(rows)
+        assert "pmd" in text and "CF #" in text
+
+
+class TestFigureHarness:
+    @pytest.fixture(scope="class")
+    def tiny_fig6(self):
+        return figure6(specs=[get_spec("avrora")])
+
+    def test_figure6_modes_present(self, tiny_fig6):
+        assert set(tiny_fig6["avrora"]) == set(FIG6_MODES)
+
+    def test_figure6_renders(self, tiny_fig6):
+        text = render_figure6(tiny_fig6)
+        assert "avrora" in text and "slow-call-profiling" in text
+
+    def test_figure7_inverse_p(self):
+        series = figure7(specs=[get_spec("avrora")], p_fractions=(0.1, 0.2))
+        row = series["avrora"]
+        assert row[0.1] >= row[0.2]
+        assert "avrora" in render_figure7(series)

@@ -1,0 +1,39 @@
+"""Tests for the rolp-bench CLI (run at a tiny scale)."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("ROLP_BENCH_SCALE", "0.02")
+
+
+class TestCli:
+    def test_table1_restricted(self, capsys):
+        assert main(["table1", "--workloads", "lucene"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "lucene" in out
+
+    def test_fig6_restricted(self, capsys):
+        assert main(["fig6", "--benchmarks", "avrora"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "avrora" in out
+
+    def test_fig7_restricted(self, capsys):
+        assert main(["fig7", "--benchmarks", "luindex"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+
+    def test_fig8_restricted(self, capsys):
+        assert main(["fig8", "--workloads", "graphchi-cc"]) == 0
+        out = capsys.readouterr().out
+        assert "graphchi-cc" in out
+        assert "p99.9" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

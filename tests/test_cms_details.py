@@ -1,0 +1,78 @@
+"""Additional CMS-model tests: waste accounting, fragmentation-forced
+compaction triggering, and tail-latency structure."""
+
+import pytest
+
+from repro.gc.cms import CMSCollector
+from repro.heap import BandwidthModel, RegionHeap, Space
+
+
+def make_cms(heap_mb=8, **kwargs):
+    return CMSCollector(RegionHeap(heap_mb << 20), BandwidthModel(), **kwargs)
+
+
+def promote_population(cms, count=1024, size=1024):
+    objs = []
+    for _ in range(count):
+        objs.append(cms.allocate(size))
+        cms.clock.advance_mutator(100)
+    cms.collect_young()  # threshold-1 callers promote immediately
+    return objs
+
+
+class TestWasteAccounting:
+    def test_waste_fraction_zero_when_empty(self):
+        assert make_cms()._old_waste_fraction() == 0.0
+
+    def test_waste_fraction_rises_with_scattered_deaths(self):
+        cms = make_cms(young_regions=2, tenuring_threshold=1)
+        objs = promote_population(cms)
+        for o in objs[::3]:
+            o.kill_at(cms.clock.now_ns)
+        cms._concurrent_cycle()
+        assert 0.2 < cms._old_waste_fraction() < 0.5
+
+    def test_waste_limit_forces_compaction(self):
+        cms = make_cms(young_regions=2, tenuring_threshold=1, waste_limit=0.2)
+        objs = promote_population(cms)
+        for o in objs[::2]:
+            o.kill_at(cms.clock.now_ns)
+        cms._concurrent_cycle()
+        # next allocation sees the waste fraction and compacts
+        cms.allocate(1024)
+        assert cms.full_compactions >= 1
+        assert cms.wasted_bytes == 0
+
+
+class TestTailStructure:
+    def test_full_compaction_dominates_pause_distribution(self):
+        """CMS's signature: medians fine, max terrible."""
+        cms = make_cms(young_regions=2, tenuring_threshold=2, waste_limit=0.25)
+        for round_index in range(6):
+            objs = promote_population(cms, count=2048)
+            for o in objs[::2]:
+                o.kill_at(cms.clock.now_ns)
+        durations = sorted(p.duration_ms for p in cms.pauses)
+        if cms.full_compactions:
+            assert durations[-1] > durations[len(durations) // 2] * 3
+
+    def test_remark_scales_with_live_population(self):
+        small = make_cms(young_regions=2, tenuring_threshold=1, concurrent_trigger=0.0)
+        promote_population(small, count=128)
+        small._concurrent_cycle()
+        big = make_cms(young_regions=4, tenuring_threshold=1, concurrent_trigger=0.0)
+        promote_population(big, count=3000)
+        big._concurrent_cycle()
+
+        def remark(cms):
+            return max(
+                p.duration_ns for p in cms.pauses if p.kind == "cms-remark"
+            )
+
+        assert remark(big) > remark(small)
+
+    def test_auxiliary_pauses_do_not_count_cycles(self):
+        cms = make_cms(concurrent_trigger=0.0)
+        before = cms.gc_cycles
+        cms._concurrent_cycle()
+        assert cms.gc_cycles == before

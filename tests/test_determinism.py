@@ -1,0 +1,68 @@
+"""Reproducibility guarantees: identical seeds produce bit-identical
+simulations — the property that makes every benchmark in this repo
+re-runnable and every bug report replayable."""
+
+import pytest
+
+from repro.workloads.base import run_workload
+from repro.workloads.dacapo import make_dacapo
+from repro.workloads.graph import GraphChiWorkload
+from repro.workloads.search import LuceneWorkload
+
+
+def fingerprint(result, workload):
+    vm = workload.vm
+    items = (
+        result.gc_cycles,
+        result.elapsed_ms,
+        result.max_memory_bytes,
+        vm.bytes_allocated,
+        tuple(round(p.duration_ns) for p in result.pauses[:50]),
+    )
+    if result.profiler_summary is not None:
+        items += (
+            vm.profiler.resolver.conflicts_seen,
+            tuple(sorted(vm.profiler.advice.items())),
+        )
+    return items
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("collector", ["g1", "cms", "zgc", "ng2c", "rolp"])
+    def test_lucene_bit_identical(self, collector):
+        def run():
+            workload = LuceneWorkload(
+                ram_buffer_bytes=512 << 10, worker_threads=2, seed=99
+            )
+            result = run_workload(workload, collector, operations=4000, heap_mb=32)
+            return fingerprint(result, workload)
+
+        assert run() == run()
+
+    def test_graphchi_bit_identical(self):
+        def run():
+            workload = GraphChiWorkload(
+                "pr", vertices=20_000, shards=3, subintervals_per_shard=8, seed=7
+            )
+            result = run_workload(workload, "rolp", operations=2000, heap_mb=32)
+            return fingerprint(result, workload)
+
+        assert run() == run()
+
+    def test_dacapo_bit_identical(self):
+        def run():
+            workload = make_dacapo("lusearch", seed=3)
+            result = run_workload(workload, "rolp", operations=1500)
+            return fingerprint(result, workload)
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            workload = LuceneWorkload(
+                ram_buffer_bytes=512 << 10, worker_threads=2, seed=seed
+            )
+            result = run_workload(workload, "g1", operations=4000, heap_mb=32)
+            return fingerprint(result, workload)
+
+        assert run(1) != run(2)

@@ -1,0 +1,82 @@
+"""Tests for the simulated-exception model and unwind semantics in the
+full interpreter (beyond the frame-level tests in test_interpreter)."""
+
+import pytest
+
+from repro import build_vm
+from repro.runtime import Method, VMFlags
+from repro.runtime.exceptions import SimException
+
+
+class TestSimException:
+    def test_handled_depth_validation(self):
+        with pytest.raises(ValueError):
+            SimException(handled_depth=-1)
+
+    def test_should_stop_at(self):
+        exc = SimException(handled_depth=2)
+        assert not exc.should_stop_at(1)
+        assert exc.should_stop_at(2)
+        assert exc.should_stop_at(3)
+
+    def test_depth_zero_caught_in_thrower_frame(self):
+        exc = SimException(handled_depth=0)
+        assert exc.should_stop_at(0)
+
+
+class TestDeepUnwind:
+    @staticmethod
+    def build_chain(vm, depth, handled_depth, increments_on=False):
+        """root -> m1 -> m2 -> ... -> m_depth (throws)."""
+        def thrower_body(ctx):
+            ctx.throw_exception("deep", handled_depth=handled_depth)
+
+        current = Method("thrower", "app.deep.T", thrower_body, bytecode_size=100)
+        for i in range(depth - 1, 0, -1):
+            callee = current
+
+            def mid_body(ctx, _callee=callee):
+                ctx.call(1, _callee)
+                return "continued"
+
+            current = Method("m%d" % i, "app.deep.M%d" % i, mid_body, bytecode_size=100)
+        return current
+
+    def test_unwind_stops_at_handler(self):
+        vm, _ = build_vm("g1", heap_mb=16)
+        thread = vm.spawn_thread()
+        root = self.build_chain(vm, depth=5, handled_depth=3)
+        result = vm.run(thread, root)
+        # the exception was absorbed 3 frames above the throw point;
+        # the remaining callers continue normally
+        assert result == "continued"
+        assert thread.frames == []
+
+    def test_unwind_to_root_swallows_operation(self):
+        vm, _ = build_vm("g1", heap_mb=16)
+        thread = vm.spawn_thread()
+        root = self.build_chain(vm, depth=4, handled_depth=99)
+        result = vm.run(thread, root)
+        assert result is None  # the whole operation terminated
+        assert thread.frames == []
+        assert thread.stack_state == 0
+
+    def test_stack_state_balanced_through_deep_unwind(self):
+        vm, _ = build_vm(
+            "rolp", heap_mb=16, flags=VMFlags(fix_exception_unwind=True)
+        )
+        thread = vm.spawn_thread()
+        root = self.build_chain(vm, depth=6, handled_depth=4)
+        # heat everything so call profiling could be installed
+        for _ in range(vm.flags.compile_threshold + 5):
+            vm.run(thread, root)
+        assert thread.stack_state == 0
+        assert thread.state_repairs == 0  # never needed the safepoint fix
+
+    def test_exceptions_counted(self):
+        vm, _ = build_vm("g1", heap_mb=16)
+        thread = vm.spawn_thread()
+        root = self.build_chain(vm, depth=3, handled_depth=1)
+        for _ in range(5):
+            vm.run(thread, root)
+        assert vm.exceptions_thrown == 5

@@ -1,0 +1,104 @@
+"""The paper's Figure 5 scenario, end to end at unit scale.
+
+Two call paths — A→C and B→C — reach the same allocation site inside C.
+Path A's objects are long-lived, path B's die young.  ROLP must:
+
+1. see a two-triangle curve for C's site and flag the conflict;
+2. enable thread-stack-state tracking on some call sites (the minimal
+   set S must contain A→C or B→C);
+3. observe the contexts split and keep the distinguishing site enabled;
+4. pretenure only path A's context.
+"""
+
+import pytest
+
+from repro import build_vm
+from repro.core import RolpConfig
+from repro.core.context import context_site, context_stack_state
+from repro.heap.region import Space
+from repro.runtime import Method
+
+
+@pytest.fixture(scope="module")
+def resolved_vm():
+    vm, profiler = build_vm(
+        "rolp",
+        heap_mb=24,
+        young_regions=2,
+        rolp_config=RolpConfig(min_samples=16),
+    )
+    thread = vm.spawn_thread()
+    table = []
+    table_bytes = [0]
+
+    def c_body(ctx, hold):
+        obj = ctx.alloc(1, 1024)
+        if hold:
+            table.append(obj)
+            table_bytes[0] += obj.size
+            if table_bytes[0] >= 6 << 20:
+                now = ctx.now_ns
+                for held in table:
+                    held.kill_at(now)
+                table.clear()
+                table_bytes[0] = 0
+        else:
+            obj.kill_at(ctx.now_ns + 15_000)
+        return obj
+
+    method_c = Method("create", "app.data.C", c_body, bytecode_size=80)
+
+    def a_body(ctx):
+        return ctx.call(1, method_c, True)   # long-lived path
+
+    def b_body(ctx):
+        return ctx.call(1, method_c, False)  # short-lived path
+
+    method_a = Method("ingest", "app.data.A", a_body, bytecode_size=120)
+    method_b = Method("serve", "app.data.B", b_body, bytecode_size=120)
+
+    last = {}
+    for op in range(140_000):
+        if op % 2 == 0:
+            last["a"] = vm.run(thread, method_a)
+        else:
+            last["b"] = vm.run(thread, method_b)
+    return vm, profiler, method_a, method_b, method_c, last
+
+
+class TestFigure5:
+    def test_conflict_detected(self, resolved_vm):
+        _, profiler, _, _, method_c, _ = resolved_vm
+        site_id = method_c.alloc_sites[1].site_id
+        assert site_id in profiler.resolver.resolved_sites
+        assert profiler.resolver.conflicts_seen >= 1
+
+    def test_minimal_set_contains_a_distinguishing_frame(self, resolved_vm):
+        """S must contain the A→C or the B→C call site (Figure 5's
+        'conflicting frames')."""
+        _, profiler, method_a, method_b, _, _ = resolved_vm
+        enabled = {site for site in profiler.jitted_call_sites if site.enabled}
+        distinguishing = set(method_a.call_sites.values()) | set(
+            method_b.call_sites.values()
+        )
+        assert enabled & distinguishing
+
+    def test_contexts_split_by_stack_state(self, resolved_vm):
+        _, _, _, _, method_c, last = resolved_vm
+        ctx_a = last["a"].context or 0
+        ctx_b = last["b"].context or 0
+        # both flow through C's single site...
+        site_id = method_c.alloc_sites[1].site_id
+        for ctx in (ctx_a, ctx_b):
+            if ctx:
+                assert context_site(ctx) == site_id
+        # ...but at least one path carries a non-zero stack state, and
+        # the advised (pretenured) object's context differs from the
+        # young one's
+        states = {context_stack_state(c) for c in (ctx_a, ctx_b) if c}
+        assert len(states) == 2 or last["a"].region.space is Space.DYNAMIC
+
+    def test_only_long_lived_path_pretenured(self, resolved_vm):
+        _, _, _, _, _, last = resolved_vm
+        assert last["a"].region.space is Space.DYNAMIC
+        assert last["b"].region.space is Space.EDEN

@@ -1,0 +1,52 @@
+"""Tests for package-based profiling filters."""
+
+from repro.core.filters import PackageFilter
+
+
+class TestAcceptAll:
+    def test_empty_filter_accepts_everything(self):
+        f = PackageFilter.accept_all()
+        assert f.accepts("org.apache.cassandra.db")
+        assert f.accepts("")
+        assert f.accepts("anything.at.all")
+
+
+class TestIncludes:
+    def test_exact_package(self):
+        f = PackageFilter(include=["org.apache.cassandra.db"])
+        assert f.accepts("org.apache.cassandra.db")
+
+    def test_subpackages_included(self):
+        f = PackageFilter(include=["org.apache.cassandra.db"])
+        assert f.accepts("org.apache.cassandra.db.compaction")
+
+    def test_prefix_must_align_on_package_boundary(self):
+        f = PackageFilter(include=["org.apache.cassandra.db"])
+        assert not f.accepts("org.apache.cassandra.dbx")
+
+    def test_unrelated_package_rejected(self):
+        f = PackageFilter(include=["org.apache.cassandra.db"])
+        assert not f.accepts("org.apache.cassandra.transport")
+
+    def test_multiple_includes(self):
+        f = PackageFilter(include=["a.b", "c.d"])
+        assert f.accepts("a.b.x")
+        assert f.accepts("c.d")
+        assert not f.accepts("e.f")
+
+
+class TestExcludes:
+    def test_exclude_wins_over_include(self):
+        f = PackageFilter(include=["a"], exclude=["a.internal"])
+        assert f.accepts("a.public")
+        assert not f.accepts("a.internal")
+        assert not f.accepts("a.internal.deep")
+
+    def test_exclude_with_accept_all(self):
+        f = PackageFilter(exclude=["sun.misc"])
+        assert f.accepts("org.app")
+        assert not f.accepts("sun.misc.Unsafe")
+
+    def test_duplicate_prefixes_deduped(self):
+        f = PackageFilter(include=["a.b", "a.b"])
+        assert f.include == ["a.b"]

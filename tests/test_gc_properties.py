@@ -1,0 +1,137 @@
+"""Property-based correctness tests for the collectors.
+
+The fundamental GC safety/liveness properties, checked under random
+allocation/death sequences:
+
+* no live object is ever lost (safety);
+* dead objects are eventually reclaimed (liveness/completeness);
+* object identity and sizes survive any number of copies;
+* heap accounting stays consistent throughout.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gc.cms import CMSCollector
+from repro.gc.g1 import G1Collector
+from repro.gc.ng2c import NG2CCollector
+from repro.gc.zgc import ZGCCollector
+from repro.heap import BandwidthModel, RegionHeap, Space
+
+#: a step: (size_in_kb, lives_steps_or_None, gen_hint)
+steps = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=64),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=30)),
+        st.integers(min_value=0, max_value=15),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+COLLECTORS = [
+    lambda heap: G1Collector(heap, BandwidthModel(), young_regions=2),
+    lambda heap: CMSCollector(heap, BandwidthModel(), young_regions=2),
+    lambda heap: ZGCCollector(heap, BandwidthModel()),
+    lambda heap: NG2CCollector(
+        heap, BandwidthModel(), young_regions=2, use_profiler_advice=False
+    ),
+]
+IDS = ["g1", "cms", "zgc", "ng2c"]
+
+
+def drive(make_collector, sequence):
+    """Run an allocation/death sequence; return (collector, live, dead)."""
+    heap = RegionHeap(32 << 20)
+    collector = make_collector(heap)
+    live, dead, pending = [], [], []
+    step_ns = 50_000  # mutator time per step
+    for index, (size_kb, lifetime, gen_hint) in enumerate(sequence):
+        collector.clock.advance_mutator(step_ns)
+        now = collector.clock.now_ns
+        death = float("inf") if lifetime is None else now + lifetime * step_ns
+        obj = collector.allocate(size_kb << 10, death_time_ns=death, gen_hint=gen_hint)
+        if lifetime is None:
+            live.append(obj)
+        else:
+            pending.append(obj)
+    final = collector.clock.now_ns + 200 * step_ns
+    collector.clock.advance_mutator(200 * step_ns)
+    for obj in pending:
+        (live if obj.is_live(final) else dead).append(obj)
+    return collector, live, dead
+
+
+class TestSafety:
+    @settings(max_examples=30, deadline=None)
+    @given(sequence=steps)
+    def test_live_objects_never_lost(self, sequence):
+        for make, name in zip(COLLECTORS, IDS):
+            collector, live, _ = drive(make, sequence)
+            collector.collect_full("property-test")
+            for obj in live:
+                assert obj.region is not None, name
+                assert obj in obj.region.objects, name
+
+    @settings(max_examples=30, deadline=None)
+    @given(sequence=steps)
+    def test_sizes_survive_copies(self, sequence):
+        for make, name in zip(COLLECTORS, IDS):
+            collector, live, _ = drive(make, sequence)
+            sizes = {id(o): o.size for o in live}
+            collector.collect_full("property-test")
+            for obj in live:
+                assert obj.size == sizes[id(obj)], name
+
+    @settings(max_examples=20, deadline=None)
+    @given(sequence=steps)
+    def test_heap_accounting_consistent(self, sequence):
+        for make, name in zip(COLLECTORS, IDS):
+            collector, live, dead = drive(make, sequence)
+            heap = collector.heap
+            by_regions = sum(r.used for r in heap.regions if r.space is not Space.FREE)
+            assert heap.used_bytes() == by_regions, name
+            assert heap.committed_bytes <= heap.capacity_bytes, name
+            assert heap.max_committed_bytes >= heap.committed_bytes, name
+
+
+class TestReclamation:
+    @settings(max_examples=20, deadline=None)
+    @given(sequence=steps)
+    def test_generational_collectors_reclaim_young_garbage(self, sequence):
+        """After a full + young collection with everything dead, the
+        young spaces hold nothing."""
+        for make, name in zip(COLLECTORS[:2] + COLLECTORS[3:], ["g1", "cms", "ng2c"]):
+            collector, live, dead = drive(make, sequence)
+            collector.collect_young()
+            now = collector.clock.now_ns
+            for region in collector.heap.regions_in(Space.EDEN):
+                assert region.live_bytes(now) == region.used, name
+
+    @settings(max_examples=20, deadline=None)
+    @given(sequence=steps)
+    def test_dead_objects_not_resurrected(self, sequence):
+        for make, name in zip(COLLECTORS, IDS):
+            collector, _, dead = drive(make, sequence)
+            collector.collect_full("property-test")
+            now = collector.clock.now_ns
+            for obj in dead:
+                assert not obj.is_live(now), name
+                # a reclaimed object's region no longer lists it
+                if obj.region is not None:
+                    region = obj.region
+                    if obj not in region.objects:
+                        continue
+
+
+class TestAges:
+    @settings(max_examples=20, deadline=None)
+    @given(sequence=steps)
+    def test_ages_monotone_and_bounded(self, sequence):
+        for make, name in zip(COLLECTORS, IDS):
+            collector, live, _ = drive(make, sequence)
+            ages_before = {id(o): o.age for o in live}
+            collector.collect_full("property-test")
+            for obj in live:
+                assert obj.age >= ages_before[id(obj)], name
+                assert 0 <= obj.age <= 15, name

@@ -1,0 +1,61 @@
+"""Tests for the collector statistics helpers."""
+
+import pytest
+
+from repro.gc.g1 import G1Collector
+from repro.gc.stats import copy_ratio, pause_summary, pauses_by_kind
+from repro.heap import BandwidthModel, RegionHeap
+from repro.runtime import JavaVM, Method
+
+
+def driven_collector():
+    heap = RegionHeap(8 << 20)
+    gc = G1Collector(heap, BandwidthModel(), young_regions=2)
+    vm = JavaVM(gc)
+    thread = vm.spawn_thread()
+
+    def body(ctx):
+        ctx.alloc(1, 4096)  # immortal: survives and is copied
+
+    m = Method("mk", "app.A", body)
+    for _ in range(1500):
+        vm.run(thread, m)
+    return gc, vm
+
+
+class TestPauseSummary:
+    def test_empty_collector(self):
+        gc = G1Collector(RegionHeap(8 << 20))
+        summary = pause_summary(gc)
+        assert summary["count"] == 0
+        assert summary["total_ms"] == 0.0
+
+    def test_populated(self):
+        gc, _ = driven_collector()
+        summary = pause_summary(gc)
+        assert summary["count"] == len(gc.pauses)
+        assert summary["max_ms"] >= summary["mean_ms"] > 0
+        assert summary["total_ms"] == pytest.approx(
+            sum(p.duration_ms for p in gc.pauses)
+        )
+
+
+class TestPausesByKind:
+    def test_grouping(self):
+        gc, _ = driven_collector()
+        groups = pauses_by_kind(gc)
+        assert sum(len(v) for v in groups.values()) == len(gc.pauses)
+        for kind, pauses in groups.items():
+            assert all(p.kind == kind for p in pauses)
+
+
+class TestCopyRatio:
+    def test_unattached_collector_is_zero(self):
+        gc = G1Collector(RegionHeap(8 << 20))
+        assert copy_ratio(gc) == 0.0
+
+    def test_surviving_objects_produce_positive_ratio(self):
+        gc, vm = driven_collector()
+        ratio = copy_ratio(gc)
+        assert ratio > 0
+        assert ratio == pytest.approx(gc.bytes_copied_total / vm.bytes_allocated)

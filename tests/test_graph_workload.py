@@ -1,0 +1,91 @@
+"""Tests for the GraphChi-like workload: interval lifecycle, vertex
+data, algorithm convergence, and the block-factory conflict."""
+
+import pytest
+
+from repro.workloads.base import run_workload
+from repro.workloads.graph import GraphChiWorkload
+
+
+def small_workload(algorithm="cc", **kwargs):
+    defaults = dict(
+        vertices=20_000,
+        edges_per_vertex=6.0,
+        shards=3,
+        subintervals_per_shard=8,
+        worker_threads=2,
+    )
+    defaults.update(kwargs)
+    return GraphChiWorkload(algorithm, **defaults)
+
+
+class TestConstruction:
+    def test_algorithm_names(self):
+        assert GraphChiWorkload("cc").name == "graphchi-cc"
+        assert GraphChiWorkload("pr").name == "graphchi-pr"
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(ValueError):
+            GraphChiWorkload("bfs")
+
+    def test_packages_match_paper(self):
+        packages = GraphChiWorkload("cc").profiled_packages
+        assert any("datablocks" in p for p in packages)
+        assert any("engine" in p for p in packages)
+
+
+class TestExecution:
+    def test_vertex_data_allocated_up_front_and_stays_live(self):
+        workload = small_workload()
+        run_workload(workload, "g1", operations=500, heap_mb=32)
+        now = workload.vm.clock.now_ns
+        assert workload.vertex_blocks
+        assert all(b.is_live(now) for b in workload.vertex_blocks)
+
+    def test_intervals_progress(self):
+        workload = small_workload()
+        run_workload(workload, "g1", operations=100, heap_mb=32)
+        assert workload.intervals_processed >= 100 // 8 - 1
+
+    def test_interval_unload_kills_edge_blocks(self):
+        workload = small_workload()
+        run_workload(workload, "g1", operations=9, heap_mb=32)
+        # first interval (8 sub-intervals) finished: its blocks are dead
+        assert workload.intervals_processed == 1
+
+
+class TestConvergence:
+    def test_cc_active_fraction_shrinks(self):
+        workload = small_workload("cc")
+        run_workload(workload, "g1", operations=60, heap_mb=32)
+        if workload.iteration >= 1:
+            assert workload.active_fraction < 1.0
+
+    def test_pr_stays_full(self):
+        workload = small_workload("pr")
+        run_workload(workload, "g1", operations=60, heap_mb=32)
+        assert workload.active_fraction == 1.0
+
+    def test_cc_floor_at_ten_percent(self):
+        workload = small_workload("cc")
+        workload.iteration = 50
+        workload._finish_iteration()
+        assert workload.active_fraction == pytest.approx(0.1)
+
+
+class TestConflictStructure:
+    def test_factory_reached_from_loader_and_updater(self):
+        workload = small_workload()
+        run_workload(workload, "g1", operations=300, heap_mb=32)
+        factory = workload.m_allocate_block
+        callers = set()
+        for method in (workload.m_load_subinterval, workload.m_update):
+            for site in method.call_sites.values():
+                if factory in site.targets:
+                    callers.add(method.name)
+        assert callers == {"loadSubInterval", "update"}
+
+    def test_ng2c_pretenures_blocks(self):
+        workload = small_workload()
+        run_workload(workload, "ng2c", operations=500, heap_mb=32)
+        assert workload.vm.collector.pretenured_objects > 0

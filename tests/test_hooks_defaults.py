@@ -1,0 +1,46 @@
+"""Tests for the NullProfiler default hook contract — baseline VMs must
+behave exactly as if no profiler existed."""
+
+from repro.heap.object_model import SimObject
+from repro.runtime.hooks import NullProfiler
+from repro.runtime.method import Method
+from repro.runtime.thread import SimThread
+
+
+class TestNullProfiler:
+    def setup_method(self):
+        self.profiler = NullProfiler()
+        self.method = Method("m", "a.B", lambda ctx: None)
+
+    def test_never_instruments(self):
+        assert not self.profiler.should_instrument(self.method)
+
+    def test_zero_cost_constants(self):
+        assert self.profiler.alloc_profile_ns == 0.0
+        assert self.profiler.call_fast_ns == 0.0
+        assert self.profiler.call_slow_ns == 0.0
+
+    def test_context_always_zero(self):
+        thread = SimThread(1)
+        site = self.method.alloc_site(1)
+        assert self.profiler.allocation_context(thread, site) == 0
+
+    def test_everything_sampled_nothing_recorded(self):
+        site = self.method.alloc_site(1)
+        assert self.profiler.sample_allocation(site)
+        # pure no-ops: must not raise
+        self.profiler.on_allocation(0, SimObject(8, 0))
+        self.profiler.on_gc_survivor(0, SimObject(8, 0))
+        self.profiler.on_gc_end(1, 100, 1e6)
+        self.profiler.on_fragmentation_report({})
+        self.profiler.on_method_compiled(self.method)
+
+    def test_no_call_tracking(self):
+        site = self.method.call_site(1)
+        assert not self.profiler.call_site_enabled(site)
+
+    def test_no_survivor_tracking(self):
+        assert not self.profiler.survivor_tracking_enabled()
+
+    def test_never_pretenures(self):
+        assert self.profiler.allocation_advice(0x0042_0007) == 0

@@ -1,0 +1,115 @@
+"""Integration tests: the whole pipeline end to end on small runs.
+
+These check the paper's qualitative claims hold on miniature versions
+of the workloads — fast enough for the unit-test suite; the full-size
+claims live in benchmarks/.
+"""
+
+import pytest
+
+from repro.metrics.pauses import percentile
+from repro.workloads.base import run_workload
+from repro.workloads.kvstore import CassandraWorkload
+
+
+def mini_cassandra(**kwargs):
+    defaults = dict(
+        key_count=5000,
+        # the memtable must span several GC cycles or nothing is
+        # middle-lived enough to be worth pretenuring
+        memtable_flush_bytes=5 << 20,
+        row_cache_entries=300,
+        worker_threads=2,
+    )
+    defaults.update(kwargs)
+    return CassandraWorkload.write_intensive(**defaults)
+
+
+OPS = 45_000
+HEAP = 48
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        results = {}
+        for collector in ("g1", "cms", "zgc", "ng2c", "rolp"):
+            workload = mini_cassandra()
+            results[collector] = (
+                run_workload(workload, collector, operations=OPS, heap_mb=HEAP),
+                workload,
+            )
+        return results
+
+    def test_all_collectors_complete(self, runs):
+        for collector, (result, _) in runs.items():
+            assert result.operations == OPS
+            assert result.elapsed_ms > 0
+
+    def test_work_is_identical_across_collectors(self, runs):
+        """The same workload seed does the same application work no
+        matter the collector."""
+        allocations = {
+            collector: result.vm_summary["allocations"]
+            for collector, (result, _) in runs.items()
+        }
+        assert len(set(allocations.values())) == 1
+
+    def test_pretenuring_reduces_gc_cycles(self, runs):
+        g1 = runs["g1"][0]
+        ng2c = runs["ng2c"][0]
+        assert ng2c.gc_cycles < g1.gc_cycles
+
+    def test_ng2c_flattens_pauses(self, runs):
+        g1 = runs["g1"][0]
+        ng2c = runs["ng2c"][0]
+        assert percentile(ng2c.pause_ms, 99.0) < percentile(g1.pause_ms, 99.0)
+
+    def test_rolp_learns_and_improves_late_pauses(self, runs):
+        rolp, workload = runs["rolp"]
+        profiler = workload.vm.profiler
+        assert profiler.inference.passes_run >= 1
+        assert len(profiler.advice) >= 1
+        late = [
+            p.duration_ms
+            for p in rolp.pauses
+            if p.start_ns > rolp.elapsed_ms * 1e6 * 0.6
+        ]
+        early = [
+            p.duration_ms
+            for p in rolp.pauses
+            if p.start_ns < rolp.elapsed_ms * 1e6 * 0.3
+        ]
+        if early and late:
+            assert percentile(late, 50.0) <= percentile(early, 50.0) * 1.05
+
+    def test_zgc_pauses_tiny(self, runs):
+        zgc = runs["zgc"][0]
+        assert max(zgc.pause_ms) < 2.0
+
+    def test_profiler_overhead_bounded(self, runs):
+        rolp, workload = runs["rolp"]
+        tax_ms = workload.vm.profiling_tax_ns / 1e6
+        assert tax_ms < rolp.elapsed_ms * 0.10
+
+    def test_old_table_memory_bounded(self, runs):
+        _, workload = runs["rolp"]
+        assert workload.vm.profiler.old_table_memory_bytes() <= 16 << 20
+
+    def test_memory_within_heap(self, runs):
+        for collector, (result, _) in runs.items():
+            if collector == "zgc":
+                continue  # reports committed + headroom reserve
+            assert result.max_memory_bytes <= HEAP << 20
+
+
+class TestCrossCollectorOracleConsistency:
+    def test_object_deaths_independent_of_collector(self):
+        """The liveness oracle is workload-driven: flushing kills the
+        same cells regardless of who collects."""
+        flushes = {}
+        for collector in ("g1", "rolp"):
+            workload = mini_cassandra(seed=123)
+            run_workload(workload, collector, operations=10_000, heap_mb=HEAP)
+            flushes[collector] = workload.flushes
+        assert flushes["g1"] == flushes["rolp"]

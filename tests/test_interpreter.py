@@ -1,0 +1,213 @@
+"""Tests for the interpreter / execution context: calls, allocation,
+exception unwinding, OSR, bias locking."""
+
+import pytest
+
+from repro import build_vm
+from repro.runtime import Method, VMFlags
+
+
+def make_vm(collector="g1", flags=None, **kwargs):
+    vm, _ = build_vm(collector, heap_mb=16, flags=flags, **kwargs)
+    return vm
+
+
+def simple_method(name="leaf", klass="app.Leaf", size=100):
+    def body(ctx):
+        ctx.work(10)
+        return name
+
+    return Method(name, klass, body, bytecode_size=size)
+
+
+class TestCalls:
+    def test_call_returns_body_result(self):
+        vm = make_vm()
+        thread = vm.spawn_thread()
+        assert vm.run(thread, simple_method()) == "leaf"
+
+    def test_invocation_counted(self):
+        vm = make_vm()
+        thread = vm.spawn_thread()
+        m = simple_method()
+        for _ in range(5):
+            vm.run(thread, m)
+        assert m.invocations == 5
+
+    def test_nested_call_records_site_and_target(self):
+        vm = make_vm()
+        thread = vm.spawn_thread()
+        leaf = simple_method()
+
+        def outer_body(ctx):
+            return ctx.call(3, leaf)
+
+        outer = Method("outer", "app.Outer", outer_body)
+        vm.run(thread, outer)
+        site = outer.call_sites[3]
+        assert leaf in site.targets
+        assert site.invocations == 1
+
+    def test_stack_balanced_after_run(self):
+        vm = make_vm()
+        thread = vm.spawn_thread()
+        vm.run(thread, simple_method())
+        assert thread.frames == []
+        assert thread.stack_state == 0
+
+    def test_call_advances_clock(self):
+        vm = make_vm()
+        thread = vm.spawn_thread()
+        before = vm.clock.now_ns
+        vm.run(thread, simple_method())
+        assert vm.clock.now_ns > before
+
+
+class TestAllocation:
+    def test_alloc_returns_object(self):
+        vm = make_vm()
+        thread = vm.spawn_thread()
+
+        def body(ctx):
+            return ctx.alloc(1, 128, lives_ns=500)
+
+        obj = vm.run(thread, Method("alloc", "app.A", body))
+        assert obj.size == 128
+        assert obj.death_time_ns > obj.alloc_time_ns
+
+    def test_alloc_without_lifetime_is_immortal(self):
+        vm = make_vm()
+        thread = vm.spawn_thread()
+
+        def body(ctx):
+            return ctx.alloc(1, 64)
+
+        obj = vm.run(thread, Method("alloc", "app.A", body))
+        assert obj.death_time_ns == float("inf")
+
+    def test_alloc_outside_method_rejected(self):
+        vm = make_vm()
+        thread = vm.spawn_thread()
+        ctx = vm.context(thread)
+        with pytest.raises(RuntimeError):
+            ctx.alloc(1, 64)
+
+    def test_alloc_counts(self):
+        vm = make_vm()
+        thread = vm.spawn_thread()
+
+        def body(ctx):
+            ctx.alloc(1, 64)
+            ctx.alloc(2, 64)
+
+        m = Method("alloc", "app.A", body)
+        vm.run(thread, m)
+        assert vm.allocations == 2
+        assert vm.bytes_allocated == 128
+        assert m.alloc_sites[1].alloc_count == 1
+
+
+class TestExceptions:
+    @staticmethod
+    def _chain(depth_handler):
+        """root -> mid -> thrower; handler ``depth_handler`` frames up."""
+        def thrower_body(ctx):
+            ctx.throw_exception("boom", handled_depth=depth_handler)
+
+        thrower = Method("thrower", "app.T", thrower_body)
+
+        def mid_body(ctx):
+            ctx.call(1, thrower)
+            return "mid-continued"
+
+        mid = Method("mid", "app.M", mid_body)
+
+        def root_body(ctx):
+            result = ctx.call(1, mid)
+            return ("root", result)
+
+        return Method("root", "app.R", root_body)
+
+    def test_exception_handled_up_stack(self):
+        vm = make_vm()
+        thread = vm.spawn_thread()
+        # handler 2 frames up: mid's call returns None, root continues
+        result = vm.run(thread, self._chain(2))
+        assert result == ("root", None)
+        assert vm.exceptions_thrown == 1
+
+    def test_stack_state_balanced_with_fix(self):
+        vm = make_vm(flags=VMFlags(fix_exception_unwind=True))
+        thread = vm.spawn_thread()
+        vm.run(thread, self._chain(2))
+        assert thread.stack_state == 0
+        assert thread.frames == []
+
+    def test_unwind_without_fix_can_corrupt(self):
+        """Without ROLP's rethrow hook the register leaks increments;
+        the safepoint verifier is the only recovery (Section 7.2.2)."""
+        vm = make_vm(flags=VMFlags(fix_exception_unwind=False))
+        thread = vm.spawn_thread()
+        # Manufacture a frame whose pop would skip the repair.
+        m = simple_method()
+        thread.push_frame(m, None, 99)
+        thread.pop_frame(repair=False)
+        assert thread.stack_state == 99
+        thread.verify_and_repair()
+        assert thread.stack_state == 0
+
+
+class TestOSR:
+    def test_loop_triggers_osr_for_eligible_method(self):
+        vm = make_vm()
+        thread = vm.spawn_thread()
+
+        def loopy_body(ctx):
+            ctx.loop(1000)
+
+        loopy = Method("loopy", "app.L", loopy_body, osr_eligible=True)
+        vm.run(thread, loopy)
+        assert loopy.compiled
+        assert vm.jit.osr_events == 1
+
+    def test_osr_corruption_repaired_at_safepoint(self):
+        vm = make_vm()
+        thread = vm.spawn_thread()
+
+        def loopy_body(ctx):
+            ctx.loop(10)
+            # inside the frame the register is corrupted by the OSR model
+            return ctx.thread.stack_state
+
+        loopy = Method("loopy", "app.L", loopy_body, osr_eligible=True)
+        corrupted = vm.run(thread, loopy)
+        assert corrupted != 0
+        vm.at_safepoint()
+        assert thread.stack_state == 0
+
+    def test_loop_on_plain_method_no_osr(self):
+        vm = make_vm()
+        thread = vm.spawn_thread()
+
+        def body(ctx):
+            ctx.loop(1000)
+
+        m = Method("plain", "app.P", body)
+        vm.run(thread, m)
+        assert not m.compiled
+
+
+class TestBiasLocking:
+    def test_bias_lock_through_context(self):
+        vm = make_vm()
+        thread = vm.spawn_thread()
+
+        def body(ctx):
+            obj = ctx.alloc(1, 64)
+            ctx.bias_lock(obj)
+            return obj
+
+        obj = vm.run(thread, Method("lock", "app.K", body))
+        assert obj.biased_locked
+        assert vm.biased_locks.locks_taken == 1
+        assert thread.biased_objects == 1

@@ -1,0 +1,196 @@
+"""Tests for the JIT compiler model."""
+
+from repro.runtime.hooks import NullProfiler
+from repro.runtime.jit import JitCompiler
+from repro.runtime.method import Method
+
+
+class AcceptAllProfiler(NullProfiler):
+    """Instruments everything; records compile notifications."""
+
+    def __init__(self):
+        self.compiled = []
+
+    def should_instrument(self, method):
+        return True
+
+    def on_method_compiled(self, method):
+        self.compiled.append(method)
+
+
+def method(name="m", size=100, body=None):
+    return Method(name, "pkg.Cls", body or (lambda ctx: None), bytecode_size=size)
+
+
+class TestHotDetection:
+    def test_compiles_at_threshold(self):
+        jit = JitCompiler(compile_threshold=3)
+        profiler = AcceptAllProfiler()
+        m = method()
+        assert not jit.record_invocation(m, profiler)
+        assert not jit.record_invocation(m, profiler)
+        assert jit.record_invocation(m, profiler)
+        assert m.compiled
+        assert profiler.compiled == [m]
+
+    def test_compile_is_idempotent(self):
+        jit = JitCompiler(compile_threshold=1)
+        profiler = AcceptAllProfiler()
+        m = method()
+        jit.compile(m, profiler)
+        jit.compile(m, profiler)
+        assert jit.compiled_methods.count(m) == 1
+
+    def test_null_profiler_blocks_instrumentation(self):
+        jit = JitCompiler(compile_threshold=1)
+        m = method()
+        m.alloc_site(1)
+        jit.compile(m, NullProfiler())
+        assert m.compiled
+        assert not m.instrumented
+        assert jit.profiled_alloc_site_count == 0
+
+
+class TestInstrumentation:
+    def test_alloc_sites_get_unique_ids(self):
+        jit = JitCompiler()
+        profiler = AcceptAllProfiler()
+        m = method()
+        m.alloc_site(1)
+        m.alloc_site(2)
+        jit.compile(m, profiler)
+        ids = [s.site_id for s in m.alloc_sites.values()]
+        assert 0 not in ids
+        assert len(set(ids)) == 2
+
+    def test_site_ids_never_zero_and_16_bit(self):
+        jit = JitCompiler()
+        profiler = AcceptAllProfiler()
+        for i in range(5):
+            m = method("m%d" % i)
+            m.alloc_site(1)
+            jit.compile(m, profiler)
+        for site in jit.instrumented_alloc_sites:
+            assert 1 <= site.site_id <= 0xFFFF
+
+    def test_call_site_increments_nonzero_16bit(self):
+        jit = JitCompiler()
+        profiler = AcceptAllProfiler()
+        m = method()
+        site = m.call_site(1)
+        site.targets.add(method("big", size=100))
+        jit.compile(m, profiler)
+        assert 1 <= site.increment <= 0xFFFF
+        assert site in jit.instrumented_call_sites
+
+    def test_id_space_exhaustion_yields_unprofiled(self):
+        jit = JitCompiler()
+        jit._next_site_id = 0xFFFF  # one id left
+        profiler = AcceptAllProfiler()
+        m = method()
+        m.alloc_site(1)
+        m.alloc_site(2)
+        jit.compile(m, profiler)
+        ids = sorted(s.site_id for s in m.alloc_sites.values())
+        assert ids[0] == 0  # exhausted
+        assert ids[1] == 0xFFFF
+
+
+class TestInlining:
+    def test_small_monomorphic_callee_inlined(self):
+        jit = JitCompiler(inline_max_size=35)
+        profiler = AcceptAllProfiler()
+        m = method()
+        site = m.call_site(1)
+        site.targets.add(method("tiny", size=20))
+        jit.compile(m, profiler)
+        assert site.inlined
+        assert not site.instrumented
+
+    def test_large_callee_not_inlined(self):
+        jit = JitCompiler(inline_max_size=35)
+        profiler = AcceptAllProfiler()
+        m = method()
+        site = m.call_site(1)
+        site.targets.add(method("big", size=200))
+        jit.compile(m, profiler)
+        assert not site.inlined
+
+    def test_polymorphic_site_not_inlined(self):
+        jit = JitCompiler(inline_max_size=35)
+        profiler = AcceptAllProfiler()
+        m = method()
+        site = m.call_site(1)
+        site.targets.add(method("a", size=10))
+        site.targets.add(method("b", size=10))
+        jit.compile(m, profiler)
+        assert not site.inlined
+
+    def test_unseen_target_not_inlined(self):
+        jit = JitCompiler()
+        assert not jit.should_inline(method().call_site(1))
+
+
+class TestLateRegistration:
+    def test_late_alloc_site(self):
+        jit = JitCompiler(compile_threshold=1)
+        profiler = AcceptAllProfiler()
+        m = method()
+        jit.compile(m, profiler)
+        late = m.alloc_site(9)
+        jit.register_late_alloc_site(late, profiler)
+        assert late.profiled
+
+    def test_late_site_in_uninstrumented_method_ignored(self):
+        jit = JitCompiler(compile_threshold=1)
+        m = method()
+        jit.compile(m, NullProfiler())
+        late = m.alloc_site(9)
+        jit.register_late_alloc_site(late, NullProfiler())
+        assert not late.profiled
+
+    def test_late_call_site(self):
+        jit = JitCompiler(compile_threshold=1)
+        profiler = AcceptAllProfiler()
+        m = method()
+        jit.compile(m, profiler)
+        site = m.call_site(4)
+        site.targets.add(method("big", size=100))
+        jit.register_late_call_site(site)
+        assert site.instrumented
+
+
+class TestOSR:
+    def test_osr_compiles_eligible_method(self):
+        jit = JitCompiler()
+        profiler = AcceptAllProfiler()
+        m = Method("loopy", "pkg.Cls", lambda ctx: None, osr_eligible=True)
+        assert jit.maybe_osr(m, profiler)
+        assert m.compiled
+        assert jit.osr_events == 1
+
+    def test_osr_ignores_ineligible(self):
+        jit = JitCompiler()
+        assert not jit.maybe_osr(method(), AcceptAllProfiler())
+
+    def test_osr_noop_once_compiled(self):
+        jit = JitCompiler()
+        profiler = AcceptAllProfiler()
+        m = Method("loopy", "pkg.Cls", lambda ctx: None, osr_eligible=True)
+        jit.maybe_osr(m, profiler)
+        assert not jit.maybe_osr(m, profiler)
+        assert jit.osr_events == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_increments(self):
+        def build(seed):
+            jit = JitCompiler(seed=seed)
+            profiler = AcceptAllProfiler()
+            m = method()
+            site = m.call_site(1)
+            site.targets.add(method("big", size=100))
+            jit.compile(m, profiler)
+            return site.increment
+
+        assert build(7) == build(7)

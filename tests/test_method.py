@@ -1,0 +1,70 @@
+"""Tests for the method / allocation-site / call-site models."""
+
+from repro.runtime.method import AllocSite, CallSite, Method
+
+
+def noop(ctx):
+    return None
+
+
+class TestMethod:
+    def test_package_extraction(self):
+        method = Method("put", "org.apache.cassandra.db.Memtable", noop)
+        assert method.package == "org.apache.cassandra.db"
+        assert method.qualified_name == "org.apache.cassandra.db.Memtable.put"
+
+    def test_default_package_empty(self):
+        assert Method("main", "Main", noop).package == ""
+
+    def test_starts_cold(self):
+        method = Method("m", "a.B", noop)
+        assert not method.compiled
+        assert not method.instrumented
+        assert method.invocations == 0
+
+    def test_alloc_site_get_or_create(self):
+        method = Method("m", "a.B", noop)
+        site = method.alloc_site(5)
+        assert method.alloc_site(5) is site
+        assert method.alloc_site(6) is not site
+        assert len(method.alloc_sites) == 2
+
+    def test_call_site_get_or_create(self):
+        method = Method("m", "a.B", noop)
+        site = method.call_site(3)
+        assert method.call_site(3) is site
+        assert len(method.call_sites) == 1
+
+
+class TestAllocSite:
+    def test_unprofiled_by_default(self):
+        site = AllocSite(Method("m", "a.B", noop), 1)
+        assert not site.profiled
+        assert site.site_id == 0
+
+    def test_profiled_after_id_assignment(self):
+        site = AllocSite(Method("m", "a.B", noop), 1)
+        site.site_id = 42
+        assert site.profiled
+
+
+class TestCallSite:
+    def test_not_instrumented_by_default(self):
+        site = CallSite(Method("m", "a.B", noop), 1)
+        assert not site.instrumented
+        assert not site.enabled
+
+    def test_instrumented_needs_increment_and_no_inline(self):
+        site = CallSite(Method("m", "a.B", noop), 1)
+        site.increment = 77
+        assert site.instrumented
+        site.inlined = True
+        assert not site.instrumented
+
+    def test_polymorphism_detection(self):
+        site = CallSite(Method("m", "a.B", noop), 1)
+        assert not site.polymorphic
+        site.targets.add(Method("x", "a.X", noop))
+        assert not site.polymorphic
+        site.targets.add(Method("y", "a.Y", noop))
+        assert site.polymorphic

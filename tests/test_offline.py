@@ -1,0 +1,100 @@
+"""Tests for the POLM2-style offline profiling mode."""
+
+import pytest
+
+from repro.core.context import encode
+from repro.core.offline import OfflineAdviceProfiler, OfflineProfile
+from repro.gc import NG2CCollector
+from repro.heap import BandwidthModel, RegionHeap, Space
+from repro.runtime import JavaVM, Method
+from repro.workloads.base import run_workload
+from repro.workloads.kvstore import CassandraWorkload
+
+
+class TestProfile:
+    def test_roundtrip_serialization(self):
+        profile = OfflineProfile({("a.B.m", 1): 5, ("c.D.n", 3): 9})
+        restored = OfflineProfile.loads(profile.dumps())
+        assert restored.decisions == profile.decisions
+
+    def test_generation_lookup(self):
+        profile = OfflineProfile({("a.B.m", 1): 5})
+        assert profile.generation_for_site("a.B.m", 1) == 5
+        assert profile.generation_for_site("a.B.m", 2) == 0
+        assert profile.generation_for_site("x.Y.z", 1) == 0
+
+    def test_capture_from_rolp_run(self):
+        workload = CassandraWorkload.write_intensive(
+            memtable_flush_bytes=4 << 20, worker_threads=2
+        )
+        run_workload(workload, "rolp", operations=45_000, heap_mb=48)
+        profile = OfflineProfile.capture(workload.vm.profiler, workload.vm)
+        assert len(profile) >= 1
+        # keys are stable method names, not run-specific site ids
+        for (method_name, bci), gen in profile.decisions.items():
+            assert "." in method_name
+            assert 1 <= gen <= 15
+
+    def test_capture_collapses_conflicts_conservatively(self):
+        """Two contexts of one site -> the lower generation wins."""
+
+        class FakeAdvice:
+            @staticmethod
+            def items():
+                return iter([(encode(5, 10), 8), (encode(5, 20), 3)])
+
+        class FakeProfiler:
+            advice = FakeAdvice()
+
+        class FakeSite:
+            site_id = 5
+            bci = 1
+
+            class method:
+                qualified_name = "a.B.m"
+
+        class FakeJit:
+            instrumented_alloc_sites = [FakeSite()]
+
+        class FakeVM:
+            jit = FakeJit()
+
+        profile = OfflineProfile.capture(FakeProfiler(), FakeVM())
+        assert profile.generation_for_site("a.B.m", 1) == 3
+
+
+class TestOfflineAdviceProfiler:
+    def _vm_with_profile(self, profile):
+        heap = RegionHeap(16 << 20)
+        collector = NG2CCollector(
+            heap, BandwidthModel(), young_regions=4, use_profiler_advice=True
+        )
+        return JavaVM(collector, OfflineAdviceProfiler(profile))
+
+    def test_profiled_site_pretenured_with_zero_tax(self):
+        profile = OfflineProfile({("app.data.Factory.mk", 1): 6})
+        vm = self._vm_with_profile(profile)
+        thread = vm.spawn_thread()
+        m = Method("mk", "app.data.Factory", lambda ctx: ctx.alloc(1, 512))
+        obj = None
+        for _ in range(vm.flags.compile_threshold + 2):
+            obj = vm.run(thread, m)
+        assert obj.region.space is Space.DYNAMIC
+        assert obj.region.gen == 6
+        assert vm.profiling_tax_ns == pytest.approx(0.0, abs=1e-6)
+
+    def test_unprofiled_site_stays_young(self):
+        profile = OfflineProfile({("app.data.Factory.mk", 1): 6})
+        vm = self._vm_with_profile(profile)
+        thread = vm.spawn_thread()
+        other = Method("other", "app.data.Other", lambda ctx: ctx.alloc(1, 512))
+        obj = None
+        for _ in range(vm.flags.compile_threshold + 2):
+            obj = vm.run(thread, other)
+        assert obj.region.space is Space.EDEN
+
+    def test_no_table_updates(self):
+        profile = OfflineProfile({("app.data.Factory.mk", 1): 6})
+        profiler = OfflineAdviceProfiler(profile)
+        assert not profiler.sample_allocation(None)
+        assert not profiler.survivor_tracking_enabled()

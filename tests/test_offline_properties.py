@@ -1,0 +1,44 @@
+"""Property tests for the offline-profile serialization format."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.offline import OfflineProfile
+
+site_keys = st.tuples(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="._"),
+        min_size=1,
+        max_size=40,
+    ),
+    st.integers(min_value=0, max_value=200),
+)
+profiles = st.dictionaries(site_keys, st.integers(min_value=1, max_value=15), max_size=40)
+
+
+class TestSerializationProperties:
+    @given(decisions=profiles)
+    def test_roundtrip_identity(self, decisions):
+        profile = OfflineProfile(decisions)
+        assert OfflineProfile.loads(profile.dumps()).decisions == decisions
+
+    @given(decisions=profiles)
+    def test_dumps_deterministic(self, decisions):
+        a = OfflineProfile(decisions)
+        b = OfflineProfile(dict(reversed(list(decisions.items()))))
+        assert a.dumps() == b.dumps()  # sorted, insertion-order independent
+
+    @given(decisions=profiles)
+    def test_length(self, decisions):
+        assert len(OfflineProfile(decisions)) == len(decisions)
+
+    @given(decisions=profiles)
+    def test_lookup_consistency(self, decisions):
+        profile = OfflineProfile(decisions)
+        for (method, bci), gen in decisions.items():
+            assert profile.generation_for_site(method, bci) == gen
+
+    def test_empty_profile(self):
+        profile = OfflineProfile()
+        assert len(profile) == 0
+        assert OfflineProfile.loads(profile.dumps()).decisions == {}

@@ -1,0 +1,60 @@
+"""Tests for the Figure 8/9 pause-study harness helpers."""
+
+import pytest
+
+from repro.bench.figures import (
+    FIG6_LABELS,
+    FIG6_MODES,
+    PAUSE_FIGURE_COLLECTORS,
+    PauseStudy,
+    pause_study,
+    render_figure8,
+    render_figure9,
+)
+
+
+class TestPauseStudyContainer:
+    def _study(self):
+        return PauseStudy(
+            workload="demo",
+            pauses_ms={
+                "g1": [1.0, 2.0, 3.0, 10.0],
+                "rolp": [0.5, 0.5, 0.6, 0.7],
+            },
+        )
+
+    def test_percentiles_per_collector(self):
+        profiles = self._study().percentiles()
+        assert set(profiles) == {"g1", "rolp"}
+        assert profiles["g1"][100.0] == 10.0
+        assert profiles["rolp"][50.0] == pytest.approx(0.5)
+
+    def test_histograms_per_collector(self):
+        histograms = self._study().histograms()
+        for collector, histogram in histograms.items():
+            assert sum(c for _, c in histogram) == len(
+                self._study().pauses_ms[collector]
+            )
+
+    def test_renderers_include_workload_name(self):
+        study = self._study()
+        assert "demo" in render_figure8([study])
+        assert "demo" in render_figure9([study])
+
+
+class TestPauseStudyRunner:
+    def test_discard_fraction_drops_leading_pauses(self):
+        full = pause_study(["graphchi-cc"], collectors=("g1",), discard_fraction=0.0)
+        trimmed = pause_study(["graphchi-cc"], collectors=("g1",), discard_fraction=0.5)
+        assert len(trimmed[0].pauses_ms["g1"]) < len(full[0].pauses_ms["g1"])
+
+    def test_default_collector_set_matches_paper(self):
+        # CMS, G1, NG2C, ROLP — the paper omits ZGC from Figures 8/9
+        assert set(PAUSE_FIGURE_COLLECTORS) == {"cms", "g1", "ng2c", "rolp"}
+        assert "zgc" not in PAUSE_FIGURE_COLLECTORS
+
+
+class TestFig6Constants:
+    def test_modes_cover_the_four_bars(self):
+        assert FIG6_MODES == ("none", "fast", "real", "slow")
+        assert set(FIG6_LABELS) == set(FIG6_MODES)

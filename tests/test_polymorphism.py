@@ -1,0 +1,99 @@
+"""Polymorphic call sites: the reason ROLP cannot rely on precise
+caller/callee information (paper Sections 5 and 7.2.1).
+
+A megamorphic site must never be inlined (so it *can* carry profiling
+code), and the thread-stack-state machinery must stay balanced no
+matter which receiver a call dispatches to.
+"""
+
+from repro import build_vm
+from repro.runtime import Method
+
+
+def make_receivers(n, size=20):
+    """n small same-shaped callees (inlinable if monomorphic)."""
+    return [
+        Method("visit", "app.data.Impl%d" % i, lambda ctx: ctx.work(50), bytecode_size=size)
+        for i in range(n)
+    ]
+
+
+class TestPolymorphicSites:
+    def test_megamorphic_site_not_inlined(self):
+        vm, _ = build_vm("rolp", heap_mb=16)
+        thread = vm.spawn_thread()
+        receivers = make_receivers(4)
+
+        def body(ctx, index):
+            ctx.call(1, receivers[index % len(receivers)])
+
+        caller = Method("dispatch", "app.data.Visitor", body, bytecode_size=120)
+        for i in range(vm.flags.compile_threshold * 3):
+            vm.run(thread, caller, i)
+        site = caller.call_sites[1]
+        assert site.polymorphic
+        assert not site.inlined
+        assert site.instrumented  # profiling code can live here
+
+    def test_monomorphic_same_shape_is_inlined(self):
+        vm, _ = build_vm("rolp", heap_mb=16)
+        thread = vm.spawn_thread()
+        receivers = make_receivers(1)
+
+        def body(ctx, index):
+            ctx.call(1, receivers[0])
+
+        caller = Method("dispatch", "app.data.Visitor", body, bytecode_size=120)
+        for i in range(vm.flags.compile_threshold * 3):
+            vm.run(thread, caller, i)
+        site = caller.call_sites[1]
+        assert not site.polymorphic
+        assert site.inlined
+        assert not site.instrumented
+
+    def test_stack_state_balanced_across_receivers(self):
+        """Slow-path profiling on a polymorphic site: the increment is
+        the site's, not the receiver's, so any dispatch balances."""
+        from repro.runtime import VMFlags
+
+        vm, _ = build_vm(
+            "rolp", heap_mb=16, flags=VMFlags(call_profiling_mode="slow")
+        )
+        thread = vm.spawn_thread()
+        receivers = make_receivers(5, size=60)  # too big to inline
+        observed = []
+
+        def body(ctx, index):
+            ctx.call(1, receivers[index % len(receivers)])
+            observed.append(ctx.thread.stack_state)
+
+        caller = Method("dispatch", "app.data.Visitor", body, bytecode_size=120)
+        for i in range(vm.flags.compile_threshold * 2):
+            vm.run(thread, caller, i)
+        # after every return from the callee the register is back to the
+        # caller frame's view; after every operation it is zero
+        assert thread.stack_state == 0
+        assert thread.frames == []
+
+    def test_late_polymorphism_after_compile(self):
+        """A site observed monomorphic at JIT time that later dispatches
+        to a second receiver (HotSpot would deoptimize; the model keeps
+        the inlining decision but records both targets)."""
+        vm, _ = build_vm("rolp", heap_mb=16)
+        thread = vm.spawn_thread()
+        receivers = make_receivers(2)
+        switch = {"wide": False}
+
+        def body(ctx, index):
+            receiver = receivers[index % 2 if switch["wide"] else 0]
+            ctx.call(1, receiver)
+
+        caller = Method("dispatch", "app.data.Visitor", body, bytecode_size=120)
+        for i in range(vm.flags.compile_threshold + 10):
+            vm.run(thread, caller, i)
+        switch["wide"] = True
+        for i in range(50):
+            vm.run(thread, caller, i)
+        site = caller.call_sites[1]
+        assert site.polymorphic
+        assert thread.stack_state == 0

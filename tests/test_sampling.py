@@ -1,0 +1,86 @@
+"""Tests for the allocation-sampling extension (Section 8.5)."""
+
+import pytest
+
+from repro import build_vm
+from repro.core import RolpConfig
+from repro.core.context import encode
+from repro.runtime import Method
+
+
+def sampled_vm(rate, heap_mb=16):
+    config = RolpConfig(allocation_sample_rate=rate, min_samples=4)
+    vm, profiler = build_vm("rolp", heap_mb=heap_mb, rolp_config=config)
+    return vm, profiler
+
+
+def hot_alloc_method():
+    return Method("mk", "app.data.Factory", lambda ctx: ctx.alloc(1, 64))
+
+
+class TestSampling:
+    def test_rate_one_samples_everything(self):
+        vm, profiler = sampled_vm(1)
+        thread = vm.spawn_thread()
+        m = hot_alloc_method()
+        for _ in range(vm.flags.compile_threshold + 100):
+            vm.run(thread, m)
+        assert profiler.allocations_skipped == 0
+
+    def test_rate_four_samples_quarter(self):
+        vm, profiler = sampled_vm(4)
+        thread = vm.spawn_thread()
+        m = hot_alloc_method()
+        for _ in range(vm.flags.compile_threshold + 400):
+            vm.run(thread, m)
+        sampled = profiler.allocations_sampled
+        skipped = profiler.allocations_skipped
+        assert sampled + skipped >= 400
+        assert skipped / (sampled + skipped) == pytest.approx(0.75, abs=0.02)
+
+    def test_unsampled_objects_carry_no_header_context(self):
+        vm, profiler = sampled_vm(1000)  # sample almost nothing
+        thread = vm.spawn_thread()
+        m = hot_alloc_method()
+        objs = []
+        for _ in range(vm.flags.compile_threshold + 50):
+            objs.append(vm.run(thread, m))
+        tail = objs[-40:]
+        assert sum(1 for o in tail if o.context) <= 1
+
+    def test_table_counts_match_sampled_only(self):
+        vm, profiler = sampled_vm(4)
+        thread = vm.spawn_thread()
+        m = hot_alloc_method()
+        for _ in range(vm.flags.compile_threshold + 200):
+            vm.run(thread, m)
+        site_id = m.alloc_sites[1].site_id
+        counted = profiler.old_table.total_objects(encode(site_id, 0))
+        assert counted == pytest.approx(profiler.allocations_sampled, abs=2)
+
+    def test_sampling_reduces_profiling_tax(self):
+        def tax(rate):
+            vm, _ = sampled_vm(rate)
+            thread = vm.spawn_thread()
+            m = hot_alloc_method()
+            for _ in range(vm.flags.compile_threshold + 500):
+                vm.run(thread, m)
+            return vm.profiling_tax_ns
+
+        assert tax(16) < tax(1)
+
+    def test_advice_still_reaches_unsampled_allocations(self):
+        """Pretenuring advice applies to every allocation of an advised
+        context, sampled or not."""
+        vm, profiler = sampled_vm(4)
+        thread = vm.spawn_thread()
+        m = hot_alloc_method()
+        for _ in range(vm.flags.compile_threshold + 2):
+            vm.run(thread, m)
+        site_id = m.alloc_sites[1].site_id
+        context = encode(site_id, 0)
+        profiler.advice.update_estimate(context, 7)
+        objs = [vm.run(thread, m) for _ in range(8)]
+        from repro.heap.region import Space
+
+        assert all(o.region.space is Space.DYNAMIC for o in objs)

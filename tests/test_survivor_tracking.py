@@ -1,0 +1,78 @@
+"""Tests for the survivor-tracking on/off controller (Section 7.4)."""
+
+import pytest
+
+from repro.core.survivor_tracking import SurvivorTrackingController
+
+
+class TestShutdown:
+    def test_starts_enabled(self):
+        assert SurvivorTrackingController().enabled
+
+    def test_no_shutdown_without_decisions(self):
+        controller = SurvivorTrackingController(stable_passes_required=1)
+        for _ in range(10):
+            controller.on_inference(decisions_changed=False, have_decisions=False)
+        assert controller.enabled
+
+    def test_shutdown_after_stable_streak(self):
+        controller = SurvivorTrackingController(stable_passes_required=3)
+        controller.observe_pause(1e6)
+        for i in range(3):
+            controller.on_inference(decisions_changed=False, have_decisions=True)
+        assert not controller.enabled
+        assert controller.shutdowns == 1
+        assert controller.baseline_pause_ns == pytest.approx(1e6)
+
+    def test_change_resets_streak(self):
+        controller = SurvivorTrackingController(stable_passes_required=2)
+        controller.on_inference(False, True)
+        controller.on_inference(True, True)    # streak broken
+        controller.on_inference(False, True)
+        assert controller.enabled
+        controller.on_inference(False, True)
+        assert not controller.enabled
+
+
+class TestReactivation:
+    def _shut_down(self, threshold=0.10):
+        controller = SurvivorTrackingController(
+            regression_threshold=threshold, window=4, stable_passes_required=1
+        )
+        for _ in range(4):
+            controller.observe_pause(1e6)
+        controller.on_inference(decisions_changed=False, have_decisions=True)
+        assert not controller.enabled
+        return controller
+
+    def test_pause_regression_reactivates(self):
+        controller = self._shut_down()
+        for _ in range(4):
+            controller.observe_pause(1.5e6)  # 50% regression
+        assert controller.enabled
+        assert controller.reactivations == 1
+
+    def test_small_increase_does_not_reactivate(self):
+        controller = self._shut_down()
+        for _ in range(4):
+            controller.observe_pause(1.05e6)  # only 5%
+        assert not controller.enabled
+
+    def test_decision_change_reactivates(self):
+        controller = self._shut_down()
+        controller.on_inference(decisions_changed=True, have_decisions=True)
+        assert controller.enabled
+
+
+class TestValidation:
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SurvivorTrackingController(regression_threshold=0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SurvivorTrackingController(window=0)
+
+    def test_invalid_streak(self):
+        with pytest.raises(ValueError):
+            SurvivorTrackingController(stable_passes_required=0)

@@ -1,0 +1,118 @@
+"""Tests for simulated threads and the 16-bit stack-state register."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.method import Method
+from repro.runtime.thread import SimThread
+
+increments = st.lists(
+    st.integers(min_value=0, max_value=0xFFFF), min_size=0, max_size=24
+)
+
+
+def method(name="m"):
+    return Method(name, "pkg.Cls", lambda ctx: None)
+
+
+class TestStackState:
+    def test_push_adds_increment(self):
+        thread = SimThread(1)
+        thread.push_frame(method(), None, 100)
+        assert thread.stack_state == 100
+
+    def test_pop_subtracts(self):
+        thread = SimThread(1)
+        thread.push_frame(method(), None, 100)
+        thread.pop_frame()
+        assert thread.stack_state == 0
+
+    def test_zero_increment_leaves_state(self):
+        thread = SimThread(1)
+        thread.push_frame(method(), None, 0)
+        assert thread.stack_state == 0
+
+    def test_wraparound_16_bits(self):
+        thread = SimThread(1)
+        thread.push_frame(method("a"), None, 0xFFFF)
+        thread.push_frame(method("b"), None, 2)
+        assert thread.stack_state == 1  # (0xFFFF + 2) mod 2^16
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            SimThread(1).pop_frame()
+
+    @given(incs=increments)
+    def test_push_pop_inverse(self, incs):
+        """The paper's core invariant: entering then leaving any call
+        path restores the register."""
+        thread = SimThread(1)
+        for inc in incs:
+            thread.push_frame(method(), None, inc)
+        for _ in incs:
+            thread.pop_frame()
+        assert thread.stack_state == 0
+
+    @given(incs=increments)
+    def test_state_independent_of_call_order(self, incs):
+        """Addition commutes: the register encodes the *set* of active
+        frames, not their order (Section 3.2.1)."""
+        forward = SimThread(1)
+        backward = SimThread(2)
+        for inc in incs:
+            forward.push_frame(method(), None, inc)
+        for inc in reversed(incs):
+            backward.push_frame(method(), None, inc)
+        assert forward.stack_state == backward.stack_state
+
+
+class TestCorruptionAndRepair:
+    def test_unrepaired_pop_leaks_contribution(self):
+        thread = SimThread(1)
+        thread.push_frame(method(), None, 77)
+        thread.pop_frame(repair=False)
+        assert thread.stack_state == 77  # corrupted
+
+    def test_verify_and_repair(self):
+        thread = SimThread(1)
+        thread.push_frame(method(), None, 77)
+        thread.pop_frame(repair=False)
+        assert thread.verify_and_repair()
+        assert thread.stack_state == 0
+        assert thread.state_repairs == 1
+
+    def test_verify_noop_when_consistent(self):
+        thread = SimThread(1)
+        thread.push_frame(method(), None, 5)
+        assert not thread.verify_and_repair()
+        assert thread.stack_state == 5
+
+    def test_expected_state_from_frames(self):
+        thread = SimThread(1)
+        thread.push_frame(method("a"), None, 10)
+        thread.push_frame(method("b"), None, 20)
+        assert thread.expected_stack_state() == 30
+
+    @given(incs=increments, corruption=st.integers(min_value=1, max_value=0xFFFF))
+    def test_repair_restores_any_corruption(self, incs, corruption):
+        thread = SimThread(1)
+        for inc in incs:
+            thread.push_frame(method(), None, inc)
+        expected = thread.stack_state
+        thread.stack_state = (thread.stack_state + corruption) & 0xFFFF
+        thread.verify_and_repair()
+        assert thread.stack_state == expected
+
+
+class TestFrames:
+    def test_current_method(self):
+        thread = SimThread(1)
+        assert thread.current_method is None
+        a = method("a")
+        thread.push_frame(a, None, 0)
+        assert thread.current_method is a
+
+    def test_name_default(self):
+        assert SimThread(7).name == "worker-7"
+        assert SimThread(7, "MutationStage-1").name == "MutationStage-1"

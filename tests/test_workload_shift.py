@@ -1,0 +1,127 @@
+"""End-to-end test of ROLP's dynamic-workload adaptation (Section 6).
+
+A phase-changing application: objects from one allocation context are
+long-lived in phase 1 (cached aggressively) and mostly short-lived in
+phase 2 (only a sparse 2% residue stays cached).  ROLP must
+(a) pretenure the context during phase 1, and (b) detect the lifetime
+decrease after the shift — the signal is the *fragmentation* its
+pretenured regions now exhibit (each region ends up mostly dead around
+a few live stragglers, so reclaiming it costs copying) — and walk the
+estimate back down.
+"""
+
+import pytest
+
+from repro import build_vm
+from repro.core import RolpConfig
+from repro.core.context import context_site
+from repro.runtime import Method
+
+
+class PhasedApp:
+    """Allocations through one site; lifetime mix depends on the phase."""
+
+    def __init__(self, vm):
+        self.vm = vm
+        self.thread = vm.spawn_thread("phased")
+        self.cache = []
+        self.cache_limit_bytes = 8 << 20
+        self.cache_bytes = 0
+        #: fraction of allocations that get cached (phase 1: all)
+        self.cache_fraction = 1.0
+        self.counter = 0
+
+        def body(ctx):
+            self.counter += 1
+            keep = (self.counter * 0.6180339887) % 1.0 < self.cache_fraction
+            if keep:
+                obj = ctx.alloc(1, 2048)  # lifetime decided by eviction
+                self.cache.append(obj)
+                self.cache_bytes += obj.size
+                if self.cache_bytes >= self.cache_limit_bytes:
+                    now = ctx.now_ns
+                    for cached in self.cache:
+                        cached.kill_at(now)
+                    self.cache.clear()
+                    self.cache_bytes = 0
+            else:
+                ctx.alloc(1, 2048, lives_ns=20_000)  # dies in-request
+            ctx.work(2_000)
+
+        self.method = Method("handle", "app.data.Handler", body, bytecode_size=150)
+
+    def run(self, operations):
+        for _ in range(operations):
+            self.vm.run(self.thread, self.method)
+
+    def site_id(self):
+        return self.method.alloc_sites[1].site_id
+
+
+@pytest.fixture(scope="module")
+def shifted_run():
+    vm, profiler = build_vm(
+        "rolp",
+        heap_mb=24,
+        young_regions=2,
+        rolp_config=RolpConfig(
+            fragmentation_blame_bytes=128 << 10,
+            stable_passes_required=1,
+        ),
+    )
+    app = PhasedApp(vm)
+
+    # Phase 1: everything cached (middle-lived) until ROLP pretenures
+    # the context.
+    app.run(110_000)
+    site = app.site_id()
+
+    def current_advice():
+        return max(
+            (gen for ctx, gen in profiler.advice.items() if context_site(ctx) == site),
+            default=0,
+        )
+
+    phase1_advice = current_advice()
+    phase1_shutdowns = profiler.survivor_controller.shutdowns
+
+    # Phase 2: only a 2% residue stays cached — the same context now
+    # produces mostly-dead regions dotted with live stragglers.
+    app.cache_fraction = 0.02
+    app.run(120_000)
+    phase2_advice = current_advice()
+    return (
+        vm,
+        profiler,
+        site,
+        phase1_advice,
+        phase1_shutdowns,
+        phase2_advice,
+    )
+
+
+class TestWorkloadShift:
+    def test_phase1_pretenures_the_context(self, shifted_run):
+        _, _, _, phase1_advice, _, _ = shifted_run
+        assert phase1_advice >= 2
+
+    def test_phase1_stabilized(self, shifted_run):
+        """Decisions settled and survivor tracking was shut down."""
+        _, _, _, _, phase1_shutdowns, _ = shifted_run
+        assert phase1_shutdowns >= 1
+
+    def test_phase2_walks_the_estimate_down(self, shifted_run):
+        """Section 6: lifetime decreases are detected via fragmentation
+        and the estimate is decremented."""
+        _, profiler, _, phase1_advice, _, phase2_advice = shifted_run
+        assert profiler.advice.decrements >= 1
+        assert phase2_advice < phase1_advice
+
+    def test_pauses_recover_after_adaptation(self, shifted_run):
+        vm = shifted_run[0]
+        pauses = vm.collector.pauses
+        end = vm.clock.now_ns
+        last_fifth = [p.duration_ms for p in pauses if p.start_ns > end * 0.8]
+        assert last_fifth
+        # no runaway pauses at the end: the system re-stabilized
+        assert max(last_fifth) < 8.0
