@@ -21,6 +21,7 @@ from repro.core import PackageFilter, RolpConfig, RolpProfiler
 from repro.gc import CMSCollector, Collector, G1Collector, NG2CCollector, ZGCCollector
 from repro.heap import BandwidthModel, RegionHeap
 from repro.runtime import JavaVM, NullProfiler, VMFlags
+from repro.telemetry import NULL_TELEMETRY, Telemetry, TelemetrySession
 
 __version__ = "1.0.0"
 
@@ -36,6 +37,7 @@ def build_vm(
     bandwidth: Optional[BandwidthModel] = None,
     flags: Optional[VMFlags] = None,
     rolp_config: Optional[RolpConfig] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[JavaVM, Optional[RolpProfiler]]:
     """Build a simulated JVM with one of the paper's five setups.
 
@@ -72,7 +74,7 @@ def build_vm(
             heap, bandwidth, young_regions=young_regions, use_profiler_advice=True
         )
         profiler = RolpProfiler(rolp_config)
-    vm = JavaVM(gc, profiler, flags)
+    vm = JavaVM(gc, profiler, flags, telemetry)
     return vm, profiler
 
 
@@ -84,11 +86,14 @@ __all__ = [
     "G1Collector",
     "JavaVM",
     "NG2CCollector",
+    "NULL_TELEMETRY",
     "NullProfiler",
     "PackageFilter",
     "RegionHeap",
     "RolpConfig",
     "RolpProfiler",
+    "Telemetry",
+    "TelemetrySession",
     "VMFlags",
     "ZGCCollector",
     "build_vm",

@@ -1,0 +1,91 @@
+"""Machine-readable artifacts for every table and figure.
+
+Each ``*_payload`` function turns an experiment's in-memory result into
+a plain JSON-serializable structure, emitted next to the text rendering
+so bench trajectories can be diffed across PRs (``--json-dir``) and the
+whole invocation can be captured in one document (``--metrics-out``).
+
+The payloads carry exactly the numbers the text tables print — the
+pause-study payload, in particular, is built from the same
+:class:`~repro.bench.figures.PauseStudy` objects Figure 8/9 render, so
+the JSON histogram totals always match the text output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, List, Sequence
+
+SCHEMA = "rolp-bench/v1"
+
+
+def table1_payload(rows) -> Dict[str, object]:
+    return {"rows": [asdict(row) for row in rows]}
+
+
+def table2_payload(rows) -> Dict[str, object]:
+    return {"rows": [asdict(row) for row in rows]}
+
+
+def figure6_payload(series: Dict[str, Dict[str, float]]) -> Dict[str, object]:
+    return {"normalized_time": {name: dict(row) for name, row in series.items()}}
+
+
+def figure7_payload(series: Dict[str, Dict[float, float]]) -> Dict[str, object]:
+    return {
+        "worst_case_ms": {
+            name: {"%g" % (p * 100): value for p, value in row.items()}
+            for name, row in series.items()
+        }
+    }
+
+
+def pause_study_payload(studies: Sequence) -> Dict[str, object]:
+    """Figure 8/9 data: per workload × collector, the percentile profile
+    and the duration histogram, straight from the rendered studies."""
+    workloads: Dict[str, object] = {}
+    for study in studies:
+        percentiles = study.percentiles()
+        histograms = study.histograms()
+        collectors: Dict[str, object] = {}
+        for collector, pauses in study.pauses_ms.items():
+            collectors[collector] = {
+                "pause_count": len(pauses),
+                "total_pause_ms": sum(pauses),
+                "percentiles": {
+                    "%g" % pct: value for pct, value in percentiles[collector].items()
+                },
+                "histogram": [
+                    {"interval_ms": label, "count": count}
+                    for label, count in histograms[collector]
+                ],
+            }
+        workloads[study.workload] = {"collectors": collectors}
+    return {"workloads": workloads}
+
+
+def figure10_payload(study) -> Dict[str, object]:
+    return {
+        "rolp_timeline": [
+            {"start_s": start, "duration_ms": duration}
+            for start, duration in study.rolp_timeline
+        ],
+        "throughput_norm": dict(study.throughput_norm),
+        "memory_norm": dict(study.memory_norm),
+        "decision_changes": list(study.decision_changes),
+    }
+
+
+def ablation_payload(results) -> List[Dict[str, object]]:
+    return [asdict(result) for result in results]
+
+
+def trace_payload(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    return {"runs": [dict(row) for row in rows]}
+
+
+def write_json(path: str, payload: Dict[str, object]) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

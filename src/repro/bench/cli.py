@@ -5,22 +5,156 @@ Usage::
     rolp-bench table1
     rolp-bench fig8 --workloads cassandra-wi lucene
     ROLP_BENCH_SCALE=0.2 rolp-bench all
+
+Telemetry and machine-readable artifacts::
+
+    rolp-bench fig8 --trace-out trace.json --metrics-out metrics.json
+    rolp-bench trace --workloads cassandra-wi --collectors g1 rolp
+    rolp-bench all --json-dir out/
+
+``--trace-out`` captures every run as a Chrome ``trace_event`` file
+(load it in chrome://tracing or https://ui.perfetto.dev); ``--metrics-out``
+writes one JSON document with the experiment payloads plus the full
+metrics-registry dump; ``--json-dir`` writes one JSON file per
+experiment.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.bench import ablations, figures, tables
+from repro import COLLECTOR_NAMES
+from repro.bench import ablations, artifacts, figures, tables
+from repro.bench.config import bench_scale
+from repro.bench.workload_registry import BIG_WORKLOADS, run_big_workload
+from repro.metrics.report import render_table
+from repro.telemetry import TelemetrySession
 from repro.workloads.dacapo import SPEC_BY_NAME
+
+#: the six ablation studies, in print order
+ABLATIONS = (
+    (
+        "survivor_tracking",
+        ablations.ablation_survivor_tracking,
+        "[Ablation] survivor-tracking shutdown (Section 7.4)",
+    ),
+    (
+        "package_filters",
+        ablations.ablation_package_filters,
+        "[Ablation] package filters (Section 7.3)",
+    ),
+    (
+        "generations",
+        ablations.ablation_generations,
+        "[Ablation] 16 generations vs binary pretenuring (Section 9)",
+    ),
+    (
+        "increment_loss",
+        ablations.ablation_increment_loss,
+        "[Ablation] unsynchronized OLD-table increment loss (Section 7.6)",
+    ),
+    (
+        "allocation_sampling",
+        ablations.ablation_allocation_sampling,
+        "[Ablation] allocation sampling (Section 8.5 extension)",
+    ),
+    (
+        "offline_profile",
+        ablations.ablation_offline_profile,
+        "[Ablation] offline (POLM2-style) vs online profiling (Section 10)",
+    ),
+)
+
+
+class UnknownNamesError(Exception):
+    """A ``--workloads``/``--benchmarks``/``--collectors`` name that the
+    registry does not know."""
+
+    def __init__(self, kind: str, unknown: List[str], valid: List[str]) -> None:
+        self.kind = kind
+        self.unknown = unknown
+        self.valid = valid
+        super().__init__(
+            "unknown %s %s (choose from: %s)"
+            % (kind, ", ".join(sorted(unknown)), ", ".join(valid))
+        )
+
+
+def _validate(kind: str, names: Optional[List[str]], valid: List[str]) -> None:
+    if not names:
+        return
+    unknown = [n for n in names if n not in valid]
+    if unknown:
+        raise UnknownNamesError(kind, unknown, valid)
 
 
 def _specs(names: Optional[List[str]]):
     if not names:
         return None
+    _validate("benchmark", names, sorted(SPEC_BY_NAME))
     return [SPEC_BY_NAME[n] for n in names]
+
+
+def _check_workloads(names: Optional[List[str]]) -> Optional[List[str]]:
+    _validate("workload", names, sorted(BIG_WORKLOADS))
+    return names
+
+
+def _check_collectors(names: Optional[List[str]]) -> Optional[List[str]]:
+    _validate("collector", names, list(COLLECTOR_NAMES))
+    return names
+
+
+def _trace_experiment(
+    workload_names: Optional[List[str]],
+    collectors: Optional[List[str]],
+    session: Optional[TelemetrySession],
+) -> List[Dict[str, object]]:
+    """The ``trace`` experiment: run every workload under every
+    collector with telemetry attached, returning one summary row per
+    run."""
+    rows: List[Dict[str, object]] = []
+    for name in workload_names or sorted(BIG_WORKLOADS):
+        for collector in collectors or COLLECTOR_NAMES:
+            telemetry = (
+                session.for_run("%s/%s" % (name, collector)) if session else None
+            )
+            result, _ = run_big_workload(name, collector, telemetry=telemetry)
+            rows.append(
+                {
+                    "workload": name,
+                    "collector": collector,
+                    "operations": result.operations,
+                    "elapsed_ms": result.elapsed_ms,
+                    "throughput_ops_s": result.throughput_ops_s,
+                    "pause_count": len(result.pauses),
+                    "total_pause_ms": sum(result.pause_ms),
+                    "gc_cycles": result.gc_cycles,
+                    "max_memory_bytes": result.max_memory_bytes,
+                }
+            )
+    return rows
+
+
+def render_trace_summary(rows: List[Dict[str, object]]) -> str:
+    return render_table(
+        ["workload", "collector", "ops", "pauses", "pause ms", "cycles", "max MB"],
+        [
+            [
+                row["workload"],
+                row["collector"],
+                row["operations"],
+                row["pause_count"],
+                "%.1f" % row["total_pause_ms"],
+                row["gc_cycles"],
+                "%.1f" % (row["max_memory_bytes"] / (1 << 20)),
+            ]
+            for row in rows
+        ],
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -39,6 +173,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "fig9",
             "fig10",
             "ablations",
+            "trace",
             "all",
         ],
     )
@@ -52,7 +187,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         nargs="*",
         help="restrict DaCapo experiments to these benchmarks",
     )
+    parser.add_argument(
+        "--collectors",
+        nargs="*",
+        help="restrict the trace experiment to these collectors",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a Chrome trace_event JSON covering every run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write experiment payloads + metrics registry as one JSON document",
+    )
+    parser.add_argument(
+        "--json-dir",
+        metavar="DIR",
+        help="write one machine-readable JSON file per experiment",
+    )
     args = parser.parse_args(argv)
+
+    # Fail fast on unwritable output paths — before hours of runs.
+    for path in (args.trace_out, args.metrics_out):
+        if path:
+            parent = os.path.dirname(path) or "."
+            if not os.path.isdir(parent):
+                print(
+                    "rolp-bench: cannot write %s (no such directory: %s)"
+                    % (path, parent),
+                    file=sys.stderr,
+                )
+                return 2
 
     todo = (
         ["table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations"]
@@ -60,65 +227,90 @@ def main(argv: Optional[List[str]] = None) -> int:
         else [args.experiment]
     )
 
+    session: Optional[TelemetrySession] = None
+    if args.trace_out or args.metrics_out or "trace" in todo:
+        session = TelemetrySession()
+
+    payloads: Dict[str, object] = {}
+    pause_studies = None  # memoized: fig8 and fig9 share the same runs
+
+    try:
+        specs = _specs(args.benchmarks)
+        workloads = _check_workloads(args.workloads)
+        collectors = _check_collectors(args.collectors)
+    except UnknownNamesError as exc:
+        print("rolp-bench: %s" % exc, file=sys.stderr)
+        return 2
+
     for experiment in todo:
         print("=" * 72)
         if experiment == "table1":
+            rows = tables.table1(workloads, session=session)
+            payloads["table1"] = artifacts.table1_payload(rows)
             print("[Table 1] Big Data benchmark profiling summary")
-            print(tables.render_table1(tables.table1(args.workloads)))
+            print(tables.render_table1(rows))
         elif experiment == "table2":
+            rows = tables.table2(specs, session=session)
+            payloads["table2"] = artifacts.table2_payload(rows)
             print("[Table 2] DaCapo profiling and conflicts")
-            print(tables.render_table2(tables.table2(_specs(args.benchmarks))))
+            print(tables.render_table2(rows))
         elif experiment == "fig6":
+            series = figures.figure6(specs, session=session)
+            payloads["fig6"] = artifacts.figure6_payload(series)
             print("[Figure 6] DaCapo execution time normalized to G1")
-            print(figures.render_figure6(figures.figure6(_specs(args.benchmarks))))
+            print(figures.render_figure6(series))
         elif experiment == "fig7":
+            series = figures.figure7(specs, session=session)
+            payloads["fig7"] = artifacts.figure7_payload(series)
             print("[Figure 7] Worst-case conflict resolution time (ms)")
-            print(figures.render_figure7(figures.figure7(_specs(args.benchmarks))))
+            print(figures.render_figure7(series))
         elif experiment in ("fig8", "fig9"):
-            studies = figures.pause_study(args.workloads)
+            if pause_studies is None:
+                pause_studies = figures.pause_study(workloads, session=session)
+            payloads[experiment] = artifacts.pause_study_payload(pause_studies)
             if experiment == "fig8":
-                print(figures.render_figure8(studies))
+                print(figures.render_figure8(pause_studies))
             else:
-                print(figures.render_figure9(studies))
+                print(figures.render_figure9(pause_studies))
         elif experiment == "fig10":
-            print(figures.render_figure10(figures.figure10()))
+            study = figures.figure10(session=session)
+            payloads["fig10"] = artifacts.figure10_payload(study)
+            print(figures.render_figure10(study))
         elif experiment == "ablations":
-            print(
-                ablations.render_ablation(
-                    ablations.ablation_survivor_tracking(),
-                    "[Ablation] survivor-tracking shutdown (Section 7.4)",
-                )
+            ablation_payloads: Dict[str, object] = {}
+            for key, run, title in ABLATIONS:
+                results = run()
+                ablation_payloads[key] = artifacts.ablation_payload(results)
+                print(ablations.render_ablation(results, title))
+            payloads["ablations"] = ablation_payloads
+        elif experiment == "trace":
+            rows = _trace_experiment(workloads, collectors, session)
+            payloads["trace"] = artifacts.trace_payload(rows)
+            print("[Trace] per-run summary (full trace via --trace-out)")
+            print(render_trace_summary(rows))
+
+    if args.trace_out and session is not None:
+        session.write_trace(args.trace_out)
+        print("trace written to %s" % args.trace_out)
+    if args.metrics_out:
+        artifacts.write_json(
+            args.metrics_out,
+            {
+                "schema": artifacts.SCHEMA,
+                "scale": bench_scale(),
+                "experiments": payloads,
+                "metrics": session.metrics.to_json() if session is not None else {},
+            },
+        )
+        print("metrics written to %s" % args.metrics_out)
+    if args.json_dir:
+        os.makedirs(args.json_dir, exist_ok=True)
+        for experiment, payload in payloads.items():
+            path = os.path.join(args.json_dir, "%s.json" % experiment)
+            artifacts.write_json(
+                path, {"schema": artifacts.SCHEMA, "scale": bench_scale(), experiment: payload}
             )
-            print(
-                ablations.render_ablation(
-                    ablations.ablation_package_filters(),
-                    "[Ablation] package filters (Section 7.3)",
-                )
-            )
-            print(
-                ablations.render_ablation(
-                    ablations.ablation_generations(),
-                    "[Ablation] 16 generations vs binary pretenuring (Section 9)",
-                )
-            )
-            print(
-                ablations.render_ablation(
-                    ablations.ablation_increment_loss(),
-                    "[Ablation] unsynchronized OLD-table increment loss (Section 7.6)",
-                )
-            )
-            print(
-                ablations.render_ablation(
-                    ablations.ablation_allocation_sampling(),
-                    "[Ablation] allocation sampling (Section 8.5 extension)",
-                )
-            )
-            print(
-                ablations.render_ablation(
-                    ablations.ablation_offline_profile(),
-                    "[Ablation] offline (POLM2-style) vs online profiling (Section 10)",
-                )
-            )
+        print("per-experiment JSON written to %s" % args.json_dir)
     return 0
 
 

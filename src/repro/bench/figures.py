@@ -46,19 +46,37 @@ FIG6_LABELS = {
 
 # --------------------------------------------------------------------------- Figure 6
 
-def figure6(specs: Optional[Sequence[DaCapoSpec]] = None) -> Dict[str, Dict[str, float]]:
+def figure6(
+    specs: Optional[Sequence[DaCapoSpec]] = None, session=None
+) -> Dict[str, Dict[str, float]]:
     """DaCapo execution time normalized to G1 at four profiling levels.
 
     Returns ``{benchmark: {mode: normalized execution time}}``.
+    ``session`` (a :class:`repro.telemetry.TelemetrySession`) records a
+    trace/metrics track per run; the default records nothing.
     """
     operations = scaled_ops(DACAPO_OVERHEAD_OPS)
     series: Dict[str, Dict[str, float]] = {}
     for spec in specs or DACAPO_SPECS:
-        baseline = _run_dacapo(spec, "real", profiled=False, operations=operations)
+        baseline = _run_dacapo(
+            spec,
+            "real",
+            profiled=False,
+            operations=operations,
+            telemetry=session.for_run("fig6/%s/baseline" % spec.name) if session else None,
+        )
         base_ns = baseline.clock.now_ns
         row: Dict[str, float] = {}
         for mode in FIG6_MODES:
-            vm = _run_dacapo(spec, mode, profiled=True, operations=operations)
+            vm = _run_dacapo(
+                spec,
+                mode,
+                profiled=True,
+                operations=operations,
+                telemetry=session.for_run("fig6/%s/%s" % (spec.name, mode))
+                if session
+                else None,
+            )
             row[mode] = vm.clock.now_ns / base_ns
         series[spec.name] = row
     return series
@@ -79,6 +97,7 @@ def render_figure6(series: Dict[str, Dict[str, float]]) -> str:
 def figure7(
     specs: Optional[Sequence[DaCapoSpec]] = None,
     p_fractions: Sequence[float] = (0.05, 0.10, 0.20, 0.50),
+    session=None,
 ) -> Dict[str, Dict[float, float]]:
     """Worst-case conflict resolution time (ms) per benchmark and P.
 
@@ -90,7 +109,13 @@ def figure7(
     operations = scaled_ops(DACAPO_OVERHEAD_OPS)
     series: Dict[str, Dict[float, float]] = {}
     for spec in specs or DACAPO_SPECS:
-        vm = _run_dacapo(spec, "real", profiled=True, operations=operations)
+        vm = _run_dacapo(
+            spec,
+            "real",
+            profiled=True,
+            operations=operations,
+            telemetry=session.for_run("fig7/%s/real" % spec.name) if session else None,
+        )
         call_sites = vm.jit.profiled_call_site_count
         cycles = max(1, vm.collector.gc_cycles)
         avg_gc_interval_ns = vm.clock.now_ns / cycles
@@ -138,6 +163,7 @@ def pause_study(
     workload_names: Optional[Sequence[str]] = None,
     collectors: Sequence[str] = PAUSE_FIGURE_COLLECTORS,
     discard_fraction: float = 0.50,
+    session=None,
 ) -> List[PauseStudy]:
     """Shared runner for Figures 8 and 9: every workload under every
     collector, collecting the raw pause lists.
@@ -153,7 +179,10 @@ def pause_study(
     for name in workload_names or sorted(BIG_WORKLOADS):
         study = PauseStudy(workload=name)
         for collector in collectors:
-            result, _ = run_big_workload(name, collector)
+            telemetry = (
+                session.for_run("%s/%s" % (name, collector)) if session else None
+            )
+            result, _ = run_big_workload(name, collector, telemetry=telemetry)
             cutoff_ns = result.elapsed_ms * 1e6 * discard_fraction
             study.pauses_ms[collector] = [
                 p.duration_ms for p in result.pauses if p.start_ns >= cutoff_ns
@@ -204,10 +233,16 @@ class WarmupStudy:
 def figure10(
     workload_name: str = "cassandra-wi",
     collectors: Sequence[str] = ("cms", "zgc", "ng2c", "rolp"),
+    session=None,
 ) -> WarmupStudy:
     operations = scaled_ops(WARMUP_OPS)
 
-    g1_result, _ = run_big_workload(workload_name, "g1", operations=operations)
+    g1_result, _ = run_big_workload(
+        workload_name,
+        "g1",
+        operations=operations,
+        telemetry=session.for_run("fig10/%s/g1" % workload_name) if session else None,
+    )
     g1_throughput = g1_result.throughput_ops_s
     g1_memory = g1_result.max_memory_bytes
 
@@ -217,7 +252,12 @@ def figure10(
     decision_changes: List[int] = []
     for collector in collectors:
         result, workload = run_big_workload(
-            workload_name, collector, operations=operations
+            workload_name,
+            collector,
+            operations=operations,
+            telemetry=session.for_run("fig10/%s/%s" % (workload_name, collector))
+            if session
+            else None,
         )
         throughput_norm[collector] = result.throughput_ops_s / g1_throughput
         memory_norm[collector] = result.max_memory_bytes / g1_memory

@@ -39,11 +39,18 @@ class Table1Row:
     old_table_mb: float
 
 
-def table1(workload_names: Optional[Sequence[str]] = None) -> List[Table1Row]:
-    """Run the six large workloads under ROLP and collect Table 1."""
+def table1(
+    workload_names: Optional[Sequence[str]] = None, session=None
+) -> List[Table1Row]:
+    """Run the six large workloads under ROLP and collect Table 1.
+
+    ``session`` (a :class:`repro.telemetry.TelemetrySession`) records a
+    trace/metrics track per run; the default records nothing.
+    """
     rows: List[Table1Row] = []
     for name in workload_names or sorted(BIG_WORKLOADS):
-        result, workload = run_big_workload(name, "rolp")
+        telemetry = session.for_run("table1/%s/rolp" % name) if session else None
+        result, workload = run_big_workload(name, "rolp", telemetry=telemetry)
         vm = workload.vm
         profiler = vm.profiler
         total_alloc, total_calls = workload.count_sites()
@@ -95,6 +102,7 @@ def _run_dacapo(
     mode: str,
     profiled: bool,
     operations: int,
+    telemetry=None,
 ) -> JavaVM:
     """One DaCapo run on G1 (profiling overhead isolated from GC
     policy changes, as in the paper's Figure 6 setup)."""
@@ -102,14 +110,14 @@ def _run_dacapo(
     heap = RegionHeap(workload.heap_mb << 20)
     gc = G1Collector(heap, BandwidthModel(), young_regions=workload.young_regions)
     profiler = RolpProfiler(RolpConfig()) if profiled else None
-    vm = JavaVM(gc, profiler, VMFlags(call_profiling_mode=mode))
+    vm = JavaVM(gc, profiler, VMFlags(call_profiling_mode=mode), telemetry)
     workload.build(vm)
     for op_index in range(operations):
         workload.run_op(op_index)
     return vm
 
 
-def table2(specs: Optional[Sequence[DaCapoSpec]] = None) -> List[Table2Row]:
+def table2(specs: Optional[Sequence[DaCapoSpec]] = None, session=None) -> List[Table2Row]:
     """Run the DaCapo suite under ROLP and collect Table 2."""
     rows: List[Table2Row] = []
     profile_ops = scaled_ops(DACAPO_PROFILE_OPS)
@@ -117,7 +125,8 @@ def table2(specs: Optional[Sequence[DaCapoSpec]] = None) -> List[Table2Row]:
     for spec in specs or DACAPO_SPECS:
         # Conflict discovery run (ROLP on NG2C, full pipeline).
         workload = DaCapoWorkload(spec)
-        run_workload(workload, "rolp", operations=profile_ops)
+        telemetry = session.for_run("table2/%s/rolp" % spec.name) if session else None
+        run_workload(workload, "rolp", operations=profile_ops, telemetry=telemetry)
         vm = workload.vm
         conflicts = vm.profiler.resolver.conflicts_seen
 

@@ -26,6 +26,7 @@ import random
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.runtime.method import CallSite
+from repro.telemetry import NULL_TELEMETRY
 
 
 def worst_case_resolution_ns(
@@ -131,6 +132,25 @@ class ConflictResolver:
         self.given_up_sites: Set[int] = set()
         self.conflicts_seen = 0
         self.subsets_tried = 0
+        self.bind_telemetry(NULL_TELEMETRY)
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach tracing + metrics (the profiler wires this through)."""
+        self._tracer = telemetry.tracer
+        metrics = telemetry.metrics
+        self._m_started = metrics.counter(
+            "rolp_conflicts_total", "Conflict-resolution searches started"
+        )
+        self._m_resolved = metrics.counter(
+            "rolp_conflicts_resolved_total", "Searches that found a tracking set"
+        )
+        self._m_given_up = metrics.counter(
+            "rolp_conflicts_given_up_total",
+            "Searches exhausted without splitting the curve",
+        )
+        self._m_subsets = metrics.counter(
+            "rolp_conflict_subsets_tried_total", "Random P-subsets enabled"
+        )
 
     # -- effective P under parallel conflicts ------------------------------------
 
@@ -154,6 +174,11 @@ class ConflictResolver:
             if site_id not in self.active and site_id not in self.resolved_sites:
                 self.conflicts_seen += 1
                 self.active[site_id] = _Resolution(site_id)
+                self._m_started.inc()
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "rolp/conflict-start", category="rolp", site_id=site_id
+                    )
 
         # 2. Advance active searches.
         finished: List[int] = []
@@ -163,6 +188,18 @@ class ConflictResolver:
             if search.done:
                 finished.append(site_id)
         for site_id in finished:
+            search = self.active[site_id]
+            given_up = site_id in self.given_up_sites
+            (self._m_given_up if given_up else self._m_resolved).inc()
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "rolp/conflict-resolved",
+                    category="rolp",
+                    site_id=site_id,
+                    rounds=search.rounds,
+                    tracked_sites=len(search.keep_enabled()),
+                    given_up=given_up,
+                )
             self.resolved_sites.add(site_id)
             del self.active[site_id]
 
@@ -203,6 +240,7 @@ class ConflictResolver:
         search.enabled = self._rng.sample(candidates, subset_size)
         self._enable(search.enabled)
         self.subsets_tried += 1
+        self._m_subsets.inc()
 
     def _narrow(self, search: _Resolution, still_conflicted: bool) -> None:
         """Turn tracked calls back off while the conflict stays gone.

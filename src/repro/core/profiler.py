@@ -35,6 +35,7 @@ from repro.core.filters import PackageFilter
 from repro.core.inference import InferenceEngine, InferenceResult
 from repro.core.old_table import OldTable, WorkerTable
 from repro.core.survivor_tracking import SurvivorTrackingController
+from repro.telemetry import NULL_TELEMETRY
 
 
 @dataclass
@@ -133,6 +134,35 @@ class RolpProfiler(NullProfiler):
         self.call_fast_ns = cfg.call_fast_ns
         self.call_slow_ns = cfg.call_slow_ns
 
+        self.bind_telemetry(NULL_TELEMETRY)
+
+    # ------------------------------------------------------------------ telemetry
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach tracing + metrics (the VM calls this at construction)."""
+        self._tracer = telemetry.tracer
+        metrics = telemetry.metrics
+        self._m_increments = metrics.counter(
+            "rolp_table_increments_total", "OLD-table allocation increments"
+        )
+        self._m_increments_lost = metrics.counter(
+            "rolp_table_increments_lost_total",
+            "Increments lost to unsynchronized table updates",
+        )
+        self._m_survivals = metrics.counter(
+            "rolp_survivals_recorded_total", "Survivor updates buffered by GC workers"
+        )
+        self._m_inference = metrics.counter(
+            "rolp_inference_passes_total", "Lifetime inference passes"
+        )
+        self._m_advice_changes = metrics.counter(
+            "rolp_advice_changes_total", "Pretenuring advice changes"
+        )
+        self._m_instrumented_methods = metrics.gauge(
+            "rolp_instrumented_methods", "Methods carrying profiling code"
+        )
+        self.resolver.bind_telemetry(telemetry)
+
     # ------------------------------------------------------------------ JIT hooks
 
     def should_instrument(self, method: Method) -> bool:
@@ -140,6 +170,7 @@ class RolpProfiler(NullProfiler):
 
     def on_method_compiled(self, method: Method) -> None:
         self.instrumented_methods.append(method)
+        self._m_instrumented_methods.set(len(self.instrumented_methods))
         for site in method.alloc_sites.values():
             self.old_table.register_site(site.site_id)
         for call_site in method.call_sites.values():
@@ -170,7 +201,9 @@ class RolpProfiler(NullProfiler):
         return False
 
     def on_allocation(self, context: int, obj: SimObject) -> None:
-        self.old_table.increment_alloc(context)
+        self._m_increments.inc()
+        if not self.old_table.increment_alloc(context):
+            self._m_increments_lost.inc()
 
     def call_site_enabled(self, site: CallSite) -> bool:
         return site.enabled
@@ -195,11 +228,23 @@ class RolpProfiler(NullProfiler):
         worker = self.workers[worker_id % len(self.workers)]
         worker.record_survival(context, obj.age)
         self.survivals_recorded += 1
+        self._m_survivals.inc()
 
     def on_gc_end(self, gc_number: int, now_ns: int, pause_ns: float) -> None:
+        merged_entries = 0
         for worker in self.workers:
-            if len(worker):
+            pending = len(worker)
+            if pending:
                 self.old_table.merge_worker(worker)
+                merged_entries += pending
+        if merged_entries and self._tracer.enabled:
+            self._tracer.instant(
+                "rolp/table-merge",
+                ts_ns=now_ns,
+                category="rolp",
+                gc_number=gc_number,
+                entries=merged_entries,
+            )
         self.survivor_controller.observe_pause(pause_ns)
         if self.inference.due(gc_number):
             self._run_inference(gc_number)
@@ -271,11 +316,30 @@ class RolpProfiler(NullProfiler):
                 changes += 1
         self.decision_change_log.append(changes)
 
+        self._m_inference.inc()
+        self._m_advice_changes.inc(changes)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "rolp/inference",
+                category="rolp",
+                gc_number=gc_number,
+                advice_changes=changes,
+                conflicted_sites=len(result.conflicted_sites),
+                active_searches=len(self.resolver.active),
+            )
+
         if self.config.dynamic_survivor_tracking:
+            tracking_before = self.survivor_controller.enabled
             self.survivor_controller.on_inference(
                 decisions_changed=changes > 0,
                 have_decisions=len(self.advice) > 0,
             )
+            if tracking_before != self.survivor_controller.enabled and self._tracer.enabled:
+                self._tracer.instant(
+                    "rolp/survivor-tracking",
+                    category="rolp",
+                    enabled=self.survivor_controller.enabled,
+                )
 
     def on_fragmentation_report(self, blame: Dict[int, tuple]) -> None:
         """Collector reports ``context -> (evacuated dead bytes,

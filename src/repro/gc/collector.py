@@ -17,6 +17,7 @@ from repro.heap.object_model import IMMORTAL, SimObject
 from repro.heap.region import Space
 from repro.runtime.clock import SimClock
 from repro.runtime.hooks import NullProfiler
+from repro.telemetry import NULL_TELEMETRY, PAUSE_HISTOGRAM_BUCKETS_MS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.vm import JavaVM
@@ -66,11 +67,33 @@ class Collector:
         self.objects_promoted = 0
         #: total bytes allocated through this collector
         self.bytes_allocated = 0
+        self.bind_telemetry(NULL_TELEMETRY)
 
     # -- wiring ---------------------------------------------------------------
 
     def attach_vm(self, vm: "JavaVM") -> None:
         self.vm = vm
+        self.bind_telemetry(vm.telemetry)
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach tracing + metrics (re-wired when a VM attaches)."""
+        self.telemetry = telemetry
+        metrics = telemetry.metrics
+        # Buckets mirror Figure 9's duration intervals.
+        self._m_pause_ms = metrics.histogram(
+            "gc_pause_ms",
+            PAUSE_HISTOGRAM_BUCKETS_MS,
+            "Stop-the-world pause durations (ms)",
+        )
+        self._m_pauses = metrics.counter(
+            "gc_pauses_total", "Stop-the-world pauses, by collector and kind"
+        )
+        self._m_bytes_copied = metrics.counter(
+            "gc_bytes_copied_total", "Bytes copied during collection"
+        )
+        self._m_cycles = metrics.counter(
+            "gc_cycles_total", "Full GC cycles (the profiler's unit of time)"
+        )
 
     @property
     def profiler(self) -> NullProfiler:
@@ -138,6 +161,22 @@ class Collector:
         )
         self.pauses.append(event)
         self.bytes_copied_total += bytes_copied
+        if self.telemetry.enabled:
+            self.telemetry.tracer.span(
+                "gc/%s" % kind,
+                start,
+                duration_ns,
+                category="gc",
+                collector=self.name,
+                gc_number=event.gc_number,
+                bytes_copied=bytes_copied,
+                survivors=survivors,
+            )
+            self._m_pauses.inc(1, collector=self.name, kind=kind)
+            self._m_pause_ms.observe(event.duration_ms, collector=self.name)
+            self._m_bytes_copied.inc(bytes_copied, collector=self.name)
+            if count_cycle:
+                self._m_cycles.inc(1, collector=self.name)
         return event
 
     def _end_of_cycle(self, pause_ns: float) -> None:

@@ -4,6 +4,7 @@ memory footprint, and text-table rendering."""
 from repro.metrics.gclog import (
     GcLogRecord,
     format_pause,
+    kind_for_cause,
     parse_line,
     parse_log,
     render_log,
@@ -30,6 +31,7 @@ __all__ = [
     "GcLogRecord",
     "MemoryReport",
     "format_pause",
+    "kind_for_cause",
     "parse_line",
     "parse_log",
     "render_log",

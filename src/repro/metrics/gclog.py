@@ -31,6 +31,11 @@ _CAUSE = {
     "zgc-mark-end": "Pause Mark End",
 }
 
+#: cause string -> pause kind (inverse of :data:`_CAUSE`)
+_KIND_BY_CAUSE = {cause: kind for kind, cause in _CAUSE.items()}
+
+_FALLBACK_CAUSE = re.compile(r"^Pause \((?P<kind>.+)\)$")
+
 _LINE = re.compile(
     r"\[(?P<ts>[0-9.]+)s\]\[info\]\[gc\] GC\((?P<num>\d+)\) "
     r"(?P<cause>.+?) "
@@ -69,6 +74,20 @@ def format_pause(
         heap_capacity_mb,
         pause.duration_ms,
     )
+
+
+def kind_for_cause(cause: str) -> Optional[str]:
+    """Recover the pause kind a cause string was formatted from.
+
+    The inverse of :func:`format_pause`'s cause mapping, including the
+    ``"Pause (<kind>)"`` fallback used for kinds outside ``_CAUSE``.
+    Returns None for strings no pause kind formats to.
+    """
+    kind = _KIND_BY_CAUSE.get(cause)
+    if kind is not None:
+        return kind
+    match = _FALLBACK_CAUSE.match(cause)
+    return match.group("kind") if match else None
 
 
 def render_log(collector: Collector) -> str:

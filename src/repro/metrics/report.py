@@ -28,14 +28,22 @@ def render_percentile_series(
     series: Dict[str, Dict[float, float]],
     title: str = "",
 ) -> str:
-    """Render Figure 8-style percentile curves, one row per collector."""
+    """Render Figure 8-style percentile curves, one row per collector.
+
+    Collectors may report different percentile sets (an empty pause list
+    yields no percentiles at all); the columns are the union, with "-"
+    marking percentiles a collector did not report.
+    """
     if not series:
         return title
-    percentiles = sorted(next(iter(series.values())).keys())
+    percentiles = sorted({p for profile in series.values() for p in profile})
     headers = ["collector"] + ["p%g" % p for p in percentiles]
     rows: List[List[object]] = []
     for name, profile in series.items():
-        rows.append([name] + ["%.2f" % profile[p] for p in percentiles])
+        rows.append(
+            [name]
+            + ["%.2f" % profile[p] if p in profile else "-" for p in percentiles]
+        )
     body = render_table(headers, rows)
     return ("%s\n%s" % (title, body)) if title else body
 
@@ -44,13 +52,23 @@ def render_histogram_series(
     series: Dict[str, List],
     title: str = "",
 ) -> str:
-    """Render Figure 9-style pause-count-per-interval histograms."""
+    """Render Figure 9-style pause-count-per-interval histograms.
+
+    Interval labels may differ between collectors (custom bucket edges,
+    or an empty histogram); the columns are the ordered union of every
+    series' labels, with "-" marking intervals a collector lacks.
+    """
     if not series:
         return title
-    labels = [label for label, _ in next(iter(series.values()))]
+    labels: List[str] = []
+    for histogram in series.values():
+        for label, _ in histogram:
+            if label not in labels:
+                labels.append(label)
     headers = ["collector"] + labels
     rows: List[List[object]] = []
     for name, histogram in series.items():
-        rows.append([name] + [count for _, count in histogram])
+        counts = {label: count for label, count in histogram}
+        rows.append([name] + [counts.get(label, "-") for label in labels])
     body = render_table(headers, rows)
     return ("%s\n%s" % (title, body)) if title else body

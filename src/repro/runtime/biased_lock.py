@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.heap.object_model import SimObject
 from repro.runtime.thread import SimThread
+from repro.telemetry import NULL_TELEMETRY
 
 
 class BiasedLockManager:
@@ -22,6 +23,22 @@ class BiasedLockManager:
         self.locks_taken = 0
         self.revocations = 0
         self.contexts_clobbered = 0
+        self.bind_telemetry(NULL_TELEMETRY)
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach tracing + metrics (the VM calls this at construction)."""
+        self._tracer = telemetry.tracer
+        metrics = telemetry.metrics
+        self._m_locks = metrics.counter(
+            "vm_bias_locks_total", "Biased locks taken"
+        )
+        self._m_revocations = metrics.counter(
+            "vm_bias_revocations_total", "Biased-lock revocations"
+        )
+        self._m_clobbered = metrics.counter(
+            "vm_bias_contexts_clobbered_total",
+            "Allocation contexts overwritten by a bias lock",
+        )
 
     def lock(self, thread: SimThread, obj: SimObject) -> None:
         """Bias-lock ``obj`` toward ``thread``.
@@ -29,8 +46,10 @@ class BiasedLockManager:
         The thread "pointer" written to the header is derived from the
         thread id; it overwrites the allocation context.
         """
+        self._m_locks.inc()
         if obj.context:
             self.contexts_clobbered += 1
+            self._m_clobbered.inc()
         # A plausible thread-pointer value: aligned, non-zero.
         thread_pointer = (0x7F00_0000 | (thread.thread_id << 8)) & 0xFFFF_FFFF
         obj.bias_lock(thread_pointer)
@@ -48,3 +67,6 @@ class BiasedLockManager:
 
         obj.header = hdr.revoke_bias(obj.header)
         self.revocations += 1
+        self._m_revocations.inc()
+        if self._tracer.enabled:
+            self._tracer.instant("vm/bias-revocation", category="vm")

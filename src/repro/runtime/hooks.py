@@ -30,6 +30,15 @@ class NullProfiler:
     #: extra mutator nanoseconds for a call-site slow add/sub update
     call_slow_ns: float = 0.0
 
+    # -- telemetry -------------------------------------------------------------
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a :class:`repro.telemetry.Telemetry` bundle.
+
+        The null profiler observes nothing, so there is nothing to
+        wire; :class:`repro.core.profiler.RolpProfiler` overrides this.
+        """
+
     # -- JIT-time hooks --------------------------------------------------------
 
     def should_instrument(self, method: "Method") -> bool:

@@ -23,6 +23,7 @@ from typing import List, Optional
 from repro.heap.header import MASK_16
 from repro.runtime.hooks import NullProfiler
 from repro.runtime.method import AllocSite, CallSite, Method
+from repro.telemetry import NULL_TELEMETRY
 
 
 class JitCompiler:
@@ -60,6 +61,22 @@ class JitCompiler:
         self.total_call_sites_seen = 0
         self.total_alloc_sites_seen = 0
         self.osr_events = 0
+        self.bind_telemetry(NULL_TELEMETRY)
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach tracing + metrics (the VM calls this at construction)."""
+        self._tracer = telemetry.tracer
+        metrics = telemetry.metrics
+        self._m_compiles = metrics.counter(
+            "jit_compiled_methods_total", "Methods JIT compiled"
+        )
+        self._m_instrumented = metrics.counter(
+            "jit_instrumented_methods_total",
+            "Compiled methods that received profiling code",
+        )
+        self._m_osr = metrics.counter(
+            "jit_osr_events_total", "On-stack replacements"
+        )
 
     # -- hot-method detection ----------------------------------------------------
 
@@ -87,6 +104,18 @@ class JitCompiler:
             self._instrument(method)
             method.instrumented = True
             profiler.on_method_compiled(method)
+        self._m_compiles.inc()
+        if method.instrumented:
+            self._m_instrumented.inc()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "jit/compile",
+                category="jit",
+                method=method.qualified_name,
+                instrumented=method.instrumented,
+                alloc_sites=len(method.alloc_sites),
+                call_sites=len(method.call_sites),
+            )
 
     def _instrument(self, method: Method) -> None:
         """Install allocation-site ids and call-site increments."""
@@ -166,6 +195,11 @@ class JitCompiler:
         if method.osr_eligible and not method.compiled:
             self.compile(method, profiler)
             self.osr_events += 1
+            self._m_osr.inc()
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "jit/osr", category="jit", method=method.qualified_name
+                )
             return True
         return False
 

@@ -20,6 +20,7 @@ from repro.runtime.interpreter import ExecutionContext
 from repro.runtime.jit import JitCompiler
 from repro.runtime.method import AllocSite, CallSite, Method
 from repro.runtime.thread import SimThread
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 #: Figure 6 profiling levels for call-site instrumentation.
 CALL_PROFILING_MODES = ("none", "fast", "real", "slow")
@@ -60,6 +61,9 @@ class JavaVM:
     profiler:
         A :class:`~repro.runtime.hooks.NullProfiler` (baseline) or a
         :class:`repro.core.profiler.RolpProfiler`.
+    telemetry:
+        A :class:`repro.telemetry.Telemetry` bundle; the default null
+        bundle records nothing and costs nothing.
     """
 
     def __init__(
@@ -67,16 +71,33 @@ class JavaVM:
         collector: "repro.gc.collector.Collector",  # noqa: F821
         profiler: Optional[NullProfiler] = None,
         flags: Optional[VMFlags] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.flags = flags or VMFlags()
         self.collector = collector
         self.clock: SimClock = collector.clock
         self.profiler = profiler or NullProfiler()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.telemetry.tracer.bind_clock(self.clock)
+        self._telemetry_on = self.telemetry.enabled
+        metrics = self.telemetry.metrics
+        self._m_allocations = metrics.counter(
+            "vm_allocations_total", "Objects allocated, by allocation site"
+        )
+        self._m_alloc_bytes = metrics.counter(
+            "vm_allocated_bytes_total", "Bytes allocated"
+        )
+        self._m_profiling_tax = metrics.counter(
+            "vm_profiling_tax_ns_total", "Mutator nanoseconds spent in profiling code"
+        )
         self.jit = JitCompiler(
             compile_threshold=self.flags.compile_threshold,
             inline_max_size=self.flags.inline_max_size,
         )
+        self.jit.bind_telemetry(self.telemetry)
         self.biased_locks = BiasedLockManager()
+        self.biased_locks.bind_telemetry(self.telemetry)
+        self.profiler.bind_telemetry(self.telemetry)
         self.threads: List[SimThread] = []
         self._next_thread_id = 1
         self.exceptions_thrown = 0
@@ -117,6 +138,7 @@ class JavaVM:
         """Mutator cost attributable to profiling instructions."""
         if ns:
             self.profiling_tax_ns += ns
+            self._m_profiling_tax.inc(ns)
             self.charge_mutator(ns)
 
     # -- call-site profiling (Figure 6's four levels) -----------------------------------
@@ -182,6 +204,11 @@ class JavaVM:
                 obj.header = install_context(obj.header, 0)
         self.allocations += 1
         self.bytes_allocated += size
+        if self._telemetry_on:
+            self._m_allocations.inc(
+                1, site="%s@%d" % (site.method.qualified_name, site.bci)
+            )
+            self._m_alloc_bytes.inc(size)
         return obj
 
     # -- safepoints -----------------------------------------------------------------------

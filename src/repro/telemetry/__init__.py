@@ -1,0 +1,96 @@
+"""Unified telemetry: structured tracing + metrics for every layer.
+
+One :class:`Telemetry` bundle (a tracer and a metrics registry) is
+threaded through the VM, the JIT, the collectors, the ROLP profiler and
+the conflict resolver.  The default is :data:`NULL_TELEMETRY` — a null
+tracer and a no-op registry — so baseline runs record nothing, pay
+nothing, and produce bit-identical numbers.
+
+A :class:`TelemetrySession` spans *many* VM runs (one benchmark
+invocation): every run gets its own tracer (its own process track in
+the exported Chrome trace) while sharing one metrics registry and one
+trace sink, so ``rolp-bench fig8 --trace-out trace.json`` shows the
+four compared collectors side by side in Perfetto.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    PAUSE_HISTOGRAM_BUCKETS_MS,
+)
+from repro.telemetry.tracer import (
+    NullTracer,
+    TraceEvent,
+    TraceSink,
+    Tracer,
+)
+
+
+class Telemetry:
+    """Tracer + metrics bundle wired through one VM run."""
+
+    __slots__ = ("tracer", "metrics", "enabled")
+
+    def __init__(
+        self,
+        tracer: Optional[NullTracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.metrics = metrics if metrics is not None else NullMetrics()
+        #: cached so hot paths pay one attribute read, not two
+        self.enabled = bool(self.tracer.enabled or self.metrics.enabled)
+
+    @classmethod
+    def for_run(cls, process_name: str = "run") -> "Telemetry":
+        """A standalone enabled bundle (single-run convenience)."""
+        return cls(TraceSink().tracer(process_name), MetricsRegistry())
+
+
+#: the zero-cost default every component starts with
+NULL_TELEMETRY = Telemetry()
+
+
+class TelemetrySession:
+    """Shared sink + registry across the runs of one bench invocation."""
+
+    def __init__(self) -> None:
+        self.sink = TraceSink()
+        self.metrics = MetricsRegistry()
+
+    def for_run(self, process_name: str = "") -> Telemetry:
+        """Telemetry for one VM run: fresh tracer track, shared metrics."""
+        return Telemetry(self.sink.tracer(process_name), self.metrics)
+
+    def write_trace(self, path: str) -> None:
+        self.sink.write_chrome(path)
+
+    def write_trace_jsonl(self, path: str) -> None:
+        self.sink.write_jsonl(path)
+
+    def write_prometheus(self, path: str) -> None:
+        self.metrics.write_prometheus(path)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullMetrics",
+    "NullTracer",
+    "PAUSE_HISTOGRAM_BUCKETS_MS",
+    "Telemetry",
+    "TelemetrySession",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+]

@@ -1,0 +1,236 @@
+"""Structured event tracing on the simulated clock.
+
+Every interesting runtime moment — a JIT compile, an OSR, each GC
+pause, an OLD-table merge, a conflict-resolution step, a biased-lock
+revocation — can be recorded as a :class:`TraceEvent` carrying the
+simulated-nanosecond timestamp at which it happened.  Two export
+formats:
+
+* **JSONL** — one event object per line, trivially greppable/diffable;
+* **Chrome ``trace_event``** — a ``{"traceEvents": [...]}`` document
+  that opens directly in ``chrome://tracing`` or https://ui.perfetto.dev,
+  with one *process* track per VM run so multi-run benchmark traces
+  (e.g. the four collectors of Figure 8) sit side by side.
+
+The default is a :class:`NullTracer`, whose methods are no-ops and
+whose ``enabled`` flag lets hot paths skip building event arguments
+entirely — baseline runs pay nothing and produce bit-identical numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: event phases (the Chrome trace_event vocabulary subset we emit)
+PHASE_SPAN = "X"     # complete event: ts + dur
+PHASE_INSTANT = "i"  # instant event: ts only
+
+
+@dataclass
+class TraceEvent:
+    """One recorded event, timestamped on the simulated clock."""
+
+    name: str
+    phase: str
+    ts_ns: int
+    dur_ns: float = 0.0
+    pid: int = 0
+    tid: int = 0
+    category: str = ""
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_chrome(self) -> Dict[str, object]:
+        """This event as a Chrome ``trace_event`` dict (ts/dur in µs)."""
+        event: Dict[str, object] = {
+            "name": self.name,
+            "ph": self.phase,
+            "ts": self.ts_ns / 1e3,
+            "pid": self.pid,
+            "tid": self.tid,
+            "cat": self.category or "repro",
+            "args": dict(self.args),
+        }
+        if self.phase == PHASE_SPAN:
+            event["dur"] = self.dur_ns / 1e3
+        elif self.phase == PHASE_INSTANT:
+            event["s"] = "p"  # process-scoped instant marker
+        return event
+
+    def to_jsonl(self) -> Dict[str, object]:
+        """This event as a flat dict for JSONL output (times in ns)."""
+        return {
+            "name": self.name,
+            "phase": self.phase,
+            "ts_ns": self.ts_ns,
+            "dur_ns": self.dur_ns,
+            "pid": self.pid,
+            "tid": self.tid,
+            "category": self.category,
+            "args": dict(self.args),
+        }
+
+
+class NullTracer:
+    """Does nothing; costs nothing.  The default on every VM."""
+
+    enabled = False
+
+    def bind_clock(self, clock) -> None:
+        """Attach the simulated clock used for implicit timestamps."""
+
+    def instant(
+        self,
+        name: str,
+        ts_ns: Optional[int] = None,
+        category: str = "",
+        tid: int = 0,
+        **args,
+    ) -> None:
+        """Record a point-in-time event."""
+
+    def span(
+        self,
+        name: str,
+        start_ns: int,
+        duration_ns: float,
+        category: str = "",
+        tid: int = 0,
+        **args,
+    ) -> None:
+        """Record an event with a duration (e.g. a GC pause)."""
+
+
+class TraceSink:
+    """Shared event buffer for one trace file.
+
+    Each VM run records through its own :class:`Tracer` (its own
+    process id in the exported trace); the sink owns the combined event
+    list and the exporters.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self.process_names: Dict[int, str] = {}
+        self._next_pid = 1
+
+    def tracer(self, process_name: str = "", clock=None) -> "Tracer":
+        """A new tracer writing into this sink under a fresh pid."""
+        pid = self._next_pid
+        self._next_pid += 1
+        self.process_names[pid] = process_name or ("run-%d" % pid)
+        return Tracer(self, pid=pid, clock=clock)
+
+    # -- exporters ----------------------------------------------------------
+
+    def to_chrome(self) -> Dict[str, object]:
+        """The full trace as a Chrome ``trace_event`` document."""
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+            for pid, name in sorted(self.process_names.items())
+        ]
+        return {
+            "traceEvents": metadata + [e.to_chrome() for e in self.events],
+            "displayTimeUnit": "ms",
+        }
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(e.to_jsonl(), sort_keys=True) for e in self.events)
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle)
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            text = self.to_jsonl()
+            if text:
+                handle.write(text + "\n")
+
+
+class Tracer(NullTracer):
+    """Records events into a :class:`TraceSink`.
+
+    Timestamps come from the explicit ``ts_ns``/``start_ns`` argument
+    when the caller knows the event time (pause records), otherwise from
+    the bound simulated clock (instants fired mid-mutator).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: Optional[TraceSink] = None,
+        pid: int = 1,
+        clock=None,
+    ) -> None:
+        if sink is None:
+            sink = TraceSink()
+            sink.process_names[pid] = "main"
+            sink._next_pid = pid + 1
+        self.sink = sink
+        self.pid = pid
+        self._clock = clock
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return self.sink.events
+
+    def bind_clock(self, clock) -> None:
+        """First clock wins: one tracer belongs to one VM run."""
+        if self._clock is None:
+            self._clock = clock
+
+    def _now(self, ts_ns: Optional[int]) -> int:
+        if ts_ns is not None:
+            return int(ts_ns)
+        return self._clock.now_ns if self._clock is not None else 0
+
+    def instant(
+        self,
+        name: str,
+        ts_ns: Optional[int] = None,
+        category: str = "",
+        tid: int = 0,
+        **args,
+    ) -> None:
+        self.sink.events.append(
+            TraceEvent(
+                name=name,
+                phase=PHASE_INSTANT,
+                ts_ns=self._now(ts_ns),
+                pid=self.pid,
+                tid=tid,
+                category=category,
+                args=args,
+            )
+        )
+
+    def span(
+        self,
+        name: str,
+        start_ns: int,
+        duration_ns: float,
+        category: str = "",
+        tid: int = 0,
+        **args,
+    ) -> None:
+        self.sink.events.append(
+            TraceEvent(
+                name=name,
+                phase=PHASE_SPAN,
+                ts_ns=int(start_ns),
+                dur_ns=float(duration_ns),
+                pid=self.pid,
+                tid=tid,
+                category=category,
+                args=args,
+            )
+        )

@@ -131,12 +131,15 @@ def run_workload(
     rolp_config: Optional[RolpConfig] = None,
     mark_every: int = 0,
     flags=None,
+    telemetry=None,
 ) -> RunResult:
     """Build a VM, run ``workload`` on it, return the measurements.
 
     ``collector`` is one of the five systems compared in the paper.  For
     the ``"rolp"`` configuration the workload's package filter is
     applied automatically (as the paper does for the large workloads).
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) enables event
+    tracing and metrics for the run; the default records nothing.
     """
     operations = operations or workload.default_ops
     heap_mb = heap_mb or workload.heap_mb
@@ -148,6 +151,7 @@ def run_workload(
         young_regions=workload.young_regions,
         rolp_config=rolp_config,
         flags=flags,
+        telemetry=telemetry,
     )
     workload.build(vm)
     meter = ThroughputMeter(vm.clock)

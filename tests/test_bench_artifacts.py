@@ -1,0 +1,122 @@
+"""Tests for the machine-readable experiment payload converters."""
+
+import json
+
+import pytest
+
+from repro.bench import artifacts
+from repro.bench.ablations import AblationResult
+from repro.bench.figures import PauseStudy, WarmupStudy
+from repro.bench.tables import Table1Row, Table2Row
+
+
+def roundtrip(payload):
+    """Every payload must survive json round-tripping unchanged."""
+    return json.loads(json.dumps(payload))
+
+
+class TestTablePayloads:
+    def test_table1(self):
+        rows = [
+            Table1Row(
+                workload="lucene",
+                pas_percent=12.5,
+                pmc_percent=30.0,
+                conflicts=2,
+                ng2c_annotations=5,
+                old_table_mb=1.5,
+            )
+        ]
+        payload = roundtrip(artifacts.table1_payload(rows))
+        assert payload["rows"][0]["workload"] == "lucene"
+        assert payload["rows"][0]["conflicts"] == 2
+
+    def test_table2(self):
+        rows = [
+            Table2Row(
+                benchmark="avrora",
+                heap_mb=64,
+                pmc=10,
+                pas=20,
+                conflicts=0,
+                conflict_overhead_percent=1.25,
+            )
+        ]
+        payload = roundtrip(artifacts.table2_payload(rows))
+        assert payload["rows"][0]["benchmark"] == "avrora"
+
+
+class TestFigurePayloads:
+    def test_figure6(self):
+        payload = roundtrip(
+            artifacts.figure6_payload({"avrora": {"none": 1.0, "slow": 1.4}})
+        )
+        assert payload["normalized_time"]["avrora"]["slow"] == 1.4
+
+    def test_figure7_stringifies_float_keys(self):
+        payload = roundtrip(
+            artifacts.figure7_payload({"avrora": {0.05: 100.0, 0.20: 25.0}})
+        )
+        assert payload["worst_case_ms"]["avrora"] == {"5": 100.0, "20": 25.0}
+
+    def test_pause_study(self):
+        study = PauseStudy(workload="lucene")
+        study.pauses_ms["g1"] = [1.0, 2.0, 30.0]
+        study.pauses_ms["rolp"] = []
+        payload = roundtrip(artifacts.pause_study_payload([study]))
+        collectors = payload["workloads"]["lucene"]["collectors"]
+        g1 = collectors["g1"]
+        assert g1["pause_count"] == 3
+        assert g1["total_pause_ms"] == pytest.approx(33.0)
+        assert sum(b["count"] for b in g1["histogram"]) == 3
+        assert all(isinstance(k, str) for k in g1["percentiles"])
+        assert collectors["rolp"]["pause_count"] == 0
+
+    def test_pause_study_totals_match_inputs(self):
+        study = PauseStudy(workload="w")
+        study.pauses_ms["g1"] = [0.5] * 7
+        payload = artifacts.pause_study_payload([study])
+        g1 = payload["workloads"]["w"]["collectors"]["g1"]
+        assert sum(b["count"] for b in g1["histogram"]) == g1["pause_count"]
+
+    def test_figure10(self):
+        study = WarmupStudy(
+            rolp_timeline=[(0.5, 2.0), (1.5, 1.0)],
+            throughput_norm={"g1": 1.0, "rolp": 0.97},
+            memory_norm={"g1": 1.0, "rolp": 1.1},
+            decision_changes=[4, 2, 0],
+        )
+        payload = roundtrip(artifacts.figure10_payload(study))
+        assert payload["rolp_timeline"][0] == {"start_s": 0.5, "duration_ms": 2.0}
+        assert payload["decision_changes"] == [4, 2, 0]
+
+    def test_ablation(self):
+        results = [
+            AblationResult(
+                label="on",
+                p50_ms=1.0,
+                p999_ms=9.0,
+                throughput_ops_s=1000.0,
+                gc_cycles=5,
+                extra={"tax_ms": 3.0},
+            )
+        ]
+        payload = roundtrip(artifacts.ablation_payload(results))
+        assert payload[0]["label"] == "on"
+        assert payload[0]["extra"]["tax_ms"] == 3.0
+
+    def test_trace(self):
+        payload = roundtrip(
+            artifacts.trace_payload([{"workload": "lucene", "collector": "g1"}])
+        )
+        assert payload["runs"][0]["collector"] == "g1"
+
+
+class TestWriteJson:
+    def test_writes_sorted_parseable_document(self, tmp_path):
+        path = tmp_path / "out.json"
+        artifacts.write_json(str(path), {"b": 1, "a": {"nested": [1, 2]}})
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"b": 1, "a": {"nested": [1, 2]}}
+        assert text.index('"a"') < text.index('"b"')

@@ -1,0 +1,100 @@
+"""Property-style round trip: format_pause -> parse_line recovers every
+field, for all nine pause kinds, including sub-millisecond durations and
+zero-byte collections."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gc.collector import PauseEvent
+from repro.metrics.gclog import (
+    _CAUSE,
+    format_pause,
+    kind_for_cause,
+    parse_line,
+    parse_log,
+)
+
+ALL_KINDS = sorted(_CAUSE)
+
+#: format_pause prints seconds and milliseconds with %0.3f, so parsing
+#: recovers them only to half of the last printed digit (plus float fuzz)
+MS_TOLERANCE = 0.00051
+S_TOLERANCE = 0.00051
+
+kinds = st.sampled_from(ALL_KINDS)
+gc_numbers = st.integers(min_value=0, max_value=10**6)
+start_ns = st.integers(min_value=0, max_value=10**13)
+#: down to single nanoseconds — far below one millisecond
+duration_ns = st.one_of(
+    st.integers(min_value=0, max_value=10**6),  # sub-millisecond
+    st.integers(min_value=0, max_value=10**9),
+)
+heap_mb = st.integers(min_value=0, max_value=10**5)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    kind=kinds,
+    gc_number=gc_numbers,
+    start=start_ns,
+    duration=duration_ns,
+    before=heap_mb,
+    after=heap_mb,
+    cap=heap_mb,
+)
+def test_round_trip_recovers_every_field(
+    kind, gc_number, start, duration, before, after, cap
+):
+    pause = PauseEvent(
+        gc_number=gc_number, start_ns=start, duration_ns=float(duration), kind=kind
+    )
+    line = format_pause(pause, cap, before, after)
+    record = parse_line(line)
+    assert record is not None, line
+    assert record.gc_number == gc_number
+    assert record.cause == _CAUSE[kind]
+    assert kind_for_cause(record.cause) == kind
+    assert record.heap_before_mb == before
+    assert record.heap_after_mb == after
+    assert record.heap_capacity_mb == cap
+    assert math.isclose(record.timestamp_s, start / 1e9, abs_tol=S_TOLERANCE)
+    assert math.isclose(record.duration_ms, duration / 1e6, abs_tol=MS_TOLERANCE)
+
+
+def test_every_kind_round_trips_exactly():
+    """Deterministic sweep: one line per kind, sub-ms duration,
+    zero-byte collection (before == after)."""
+    lines = []
+    for index, kind in enumerate(ALL_KINDS):
+        pause = PauseEvent(
+            gc_number=index,
+            start_ns=index * 1_000_000,
+            duration_ns=123_456.0,  # 0.123456 ms -> prints 0.123
+            kind=kind,
+            bytes_copied=0,
+        )
+        lines.append(format_pause(pause, 96, 42, 42))
+    records = parse_log("\n".join(lines))
+    assert len(records) == len(ALL_KINDS)
+    for index, (kind, record) in enumerate(zip(ALL_KINDS, records)):
+        assert record.gc_number == index
+        assert kind_for_cause(record.cause) == kind
+        assert record.heap_before_mb == record.heap_after_mb == 42
+        assert math.isclose(record.duration_ms, 0.123, abs_tol=1e-9)
+
+
+def test_unknown_kind_uses_fallback_cause():
+    pause = PauseEvent(gc_number=7, start_ns=0, duration_ns=1e6, kind="exotic")
+    record = parse_line(format_pause(pause, 96, 10, 5))
+    assert record is not None
+    assert record.cause == "Pause (exotic)"
+    assert kind_for_cause(record.cause) == "exotic"
+
+
+def test_kind_for_cause_rejects_noise():
+    assert kind_for_cause("Concurrent Mark") is None
+    assert kind_for_cause("") is None

@@ -182,3 +182,55 @@ class TestRendering:
         series = {"g1": [("0-10", 3), (">10", 1)]}
         text = render_histogram_series(series)
         assert "0-10" in text and "g1" in text
+
+    def test_render_percentile_series_differing_keys(self):
+        """Regression: collectors with different percentile sets used to
+        KeyError; the columns are now the union, blanks for missing."""
+        series = {
+            "g1": {50.0: 1.0, 99.0: 5.0},
+            "zgc": {50.0: 0.1},  # no p99 recorded
+            "empty": {},  # no pauses survived the warmup cutoff
+        }
+        text = render_percentile_series(series, title="demo")
+        lines = text.splitlines()
+        assert "p50" in lines[1] and "p99" in lines[1]
+        zgc_row = next(line for line in lines if line.startswith("zgc"))
+        assert "0.10" in zgc_row and "-" in zgc_row
+        empty_row = next(line for line in lines if line.startswith("empty"))
+        assert "-" in empty_row
+
+    def test_render_percentile_series_all_empty(self):
+        text = render_percentile_series({"g1": {}}, title="demo")
+        assert "demo" in text and "g1" in text
+
+    def test_render_histogram_series_differing_labels(self):
+        """Regression: differing interval labels used to misalign the
+        columns; the header is now the ordered union of all labels."""
+        series = {
+            "g1": [("0-10", 3), ("10-100", 2), (">100", 1)],
+            "custom": [("0-5", 4), (">5", 0)],
+            "empty": [],
+        }
+        text = render_histogram_series(series, title="demo")
+        lines = text.splitlines()
+        header = lines[1]
+        for label in ("0-10", "10-100", ">100", "0-5", ">5"):
+            assert label in header
+        g1_row = next(line for line in lines if line.startswith("g1"))
+        assert "-" in g1_row  # g1 lacks the custom labels
+        empty_row = next(line for line in lines if line.startswith("empty"))
+        assert "-" in empty_row
+
+    def test_render_histogram_series_counts_stay_under_their_labels(self):
+        series = {
+            "a": [("x", 7)],
+            "b": [("y", 9)],
+        }
+        text = render_histogram_series(series)
+        lines = text.splitlines()
+        header = lines[0]
+        x_col = header.index("x")
+        a_row = next(line for line in lines if line.startswith("a"))
+        b_row = next(line for line in lines if line.startswith("b"))
+        assert a_row[x_col] == "7"
+        assert b_row[x_col] == "-"
