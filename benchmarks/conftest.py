@@ -2,7 +2,10 @@
 
 Every benchmark honours ``ROLP_BENCH_SCALE`` (see
 :mod:`repro.bench.config`): the default regenerates the paper's shapes
-in minutes; ``ROLP_BENCH_SCALE=0.2`` gives a quick smoke pass.
+in minutes; ``ROLP_BENCH_SCALE=0.2`` gives a quick smoke pass.  The
+shared pause-study runs additionally honour ``ROLP_BENCH_JOBS`` (worker
+processes) and ``ROLP_BENCH_CACHE_DIR`` (per-cell result cache) — see
+docs/benchmarking.md.
 
 The simulated runs are deterministic, so one round per benchmark is the
 meaningful measurement — ``benchmark.pedantic(..., rounds=1)`` records
@@ -15,6 +18,7 @@ import os
 import pytest
 
 from repro.bench.figures import pause_study
+from repro.bench.runner import ResultCache, Runner
 
 #: rendered tables/figures are also written here so they survive
 #: pytest's output capture (EXPERIMENTS.md references these files)
@@ -37,7 +41,12 @@ def pause_studies():
     """Figures 8 and 9 share one (expensive) set of runs: every large
     workload under every compared collector."""
     if not _PAUSE_STUDIES:
-        _PAUSE_STUDIES.extend(pause_study())
+        cache_dir = os.environ.get("ROLP_BENCH_CACHE_DIR")
+        runner = Runner(
+            jobs=int(os.environ.get("ROLP_BENCH_JOBS", "1")),
+            cache=ResultCache(cache_dir) if cache_dir else None,
+        )
+        _PAUSE_STUDIES.extend(pause_study(runner=runner))
     return _PAUSE_STUDIES
 
 

@@ -3,19 +3,37 @@ evaluation (see DESIGN.md's experiment index)."""
 
 from repro.bench import ablations, figures, tables
 from repro.bench.config import bench_scale, scaled_ops
+from repro.bench.runner import (
+    Cell,
+    ResultCache,
+    Runner,
+    cell_kind,
+    derive_seed,
+    make_cell,
+    shared_seed_scope,
+)
 from repro.bench.workload_registry import (
     BIG_WORKLOADS,
+    big_workload_ops,
     make_big_workload,
     run_big_workload,
 )
 
 __all__ = [
     "BIG_WORKLOADS",
+    "Cell",
+    "ResultCache",
+    "Runner",
     "ablations",
     "bench_scale",
+    "big_workload_ops",
+    "cell_kind",
+    "derive_seed",
     "figures",
     "make_big_workload",
+    "make_cell",
     "run_big_workload",
     "scaled_ops",
+    "shared_seed_scope",
     "tables",
 ]

@@ -4,6 +4,12 @@ Each returns the measured effect of disabling one ROLP mechanism on the
 Cassandra WI workload — the knobs the paper motivates in Sections 7.2-7.4
 and the generation-count comparison against two-generation pretenuring
 (Harris/Memento, Section 9).
+
+Each variant is one :mod:`repro.bench.runner` cell (kind ``ablation``),
+so the sweeps fan out across workers and cache like every other
+experiment; only the offline-profiling comparison stays a single cell,
+because its POLM2 replay consumes the profile captured by its own
+online run.
 """
 
 from __future__ import annotations
@@ -17,6 +23,13 @@ from repro.metrics.pauses import percentile
 from repro.workloads.base import RunResult, run_workload
 from repro.workloads.kvstore import CassandraWorkload
 from repro.bench.config import CASSANDRA_OPS, scaled_ops
+from repro.bench.runner import (
+    Runner,
+    cell_kind,
+    make_cell,
+    run_cells,
+    shared_seed_scope,
+)
 
 
 @dataclass
@@ -41,8 +54,13 @@ class AblationResult:
         )
 
 
-def _run(config: Optional[RolpConfig] = None, operations: Optional[int] = None):
-    workload = CassandraWorkload.write_intensive()
+def _run(
+    config: Optional[RolpConfig] = None,
+    operations: Optional[int] = None,
+    seed: Optional[int] = None,
+):
+    kwargs = {} if seed is None else {"seed": seed}
+    workload = CassandraWorkload.write_intensive(**kwargs)
     # Ablations need the profile fully converged *and* a stretch of
     # steady state afterwards (e.g. the survivor-tracking shutdown
     # requires several consecutive stable inference passes), so they run
@@ -52,139 +70,203 @@ def _run(config: Optional[RolpConfig] = None, operations: Optional[int] = None):
     return result, workload
 
 
-def ablation_survivor_tracking() -> List[AblationResult]:
-    """Section 7.4: dynamic survivor-tracking shutdown on vs always-on."""
-    results = []
-    for label, dynamic in (("dynamic (paper)", True), ("always-on", False)):
+def _wi_filter() -> PackageFilter:
+    return CassandraWorkload.write_intensive().package_filter()
+
+
+@cell_kind(
+    "ablation",
+    track=lambda p: "ablation/%s/%s" % (p["study"], p["label"]),
+    # within one study only the knob under test may vary, or the
+    # "profiling decisions unchanged" comparisons measure seed noise
+    seed_scope=shared_seed_scope(
+        "ablation", "label", "dynamic", "filtered", "min_age", "loss", "rate"
+    ),
+)
+def _ablation_cell(seed, telemetry, study, label, operations, **knobs) -> AblationResult:
+    """One ablation variant: build the study's config from its scalar
+    knobs (cell params must stay scalars), run, summarize."""
+    if study == "survivor_tracking":
         config = RolpConfig(
-            package_filter=CassandraWorkload.write_intensive().package_filter(),
-            dynamic_survivor_tracking=dynamic,
+            package_filter=_wi_filter(),
+            dynamic_survivor_tracking=knobs["dynamic"],
         )
-        result, workload = _run(config)
-        results.append(
-            AblationResult.from_run(
-                label,
-                result,
-                shutdowns=workload.vm.profiler.survivor_controller.shutdowns,
-            )
+        result, workload = _run(config, operations, seed)
+        return AblationResult.from_run(
+            label,
+            result,
+            shutdowns=workload.vm.profiler.survivor_controller.shutdowns,
         )
-    return results
+    if study == "package_filters":
+        config = RolpConfig(
+            package_filter=_wi_filter()
+            if knobs["filtered"]
+            else PackageFilter.accept_all(),
+        )
+        result, workload = _run(config, operations, seed)
+        return AblationResult.from_run(
+            label,
+            result,
+            profiled_sites=workload.vm.jit.profiled_alloc_site_count,
+            profiling_tax_ms=workload.vm.profiling_tax_ns / 1e6,
+        )
+    if study == "generations":
+        config = RolpConfig(
+            package_filter=_wi_filter(),
+            pretenure_min_age=knobs["min_age"],
+        )
+        result, _ = _run(config, operations, seed)
+        return AblationResult.from_run(label, result)
+    if study == "increment_loss":
+        config = RolpConfig(
+            package_filter=_wi_filter(),
+            increment_loss_probability=knobs["loss"],
+        )
+        result, workload = _run(config, operations, seed)
+        return AblationResult.from_run(
+            label,
+            result,
+            lost=workload.vm.profiler.old_table.lost_increments,
+            advice=len(workload.vm.profiler.advice),
+        )
+    if study == "allocation_sampling":
+        config = RolpConfig(
+            package_filter=_wi_filter(),
+            allocation_sample_rate=knobs["rate"],
+            # keep curves above the inference gate despite thin samples
+            min_samples=max(4, 32 // knobs["rate"]),
+        )
+        result, workload = _run(config, operations, seed)
+        return AblationResult.from_run(
+            label,
+            result,
+            profiling_tax_ms=round(workload.vm.profiling_tax_ns / 1e6, 2),
+            advice=len(workload.vm.profiler.advice),
+            skipped=workload.vm.profiler.allocations_skipped,
+        )
+    raise ValueError("unknown ablation study %r" % study)
 
 
-def ablation_package_filters() -> List[AblationResult]:
+def _study_cells(study: str, variants: Sequence[Dict[str, object]]):
+    operations = scaled_ops(int(CASSANDRA_OPS * 1.6))
+    return [
+        make_cell("ablation", study=study, operations=operations, **variant)
+        for variant in variants
+    ]
+
+
+def ablation_survivor_tracking(runner: Optional[Runner] = None) -> List[AblationResult]:
+    """Section 7.4: dynamic survivor-tracking shutdown on vs always-on."""
+    return run_cells(
+        _study_cells(
+            "survivor_tracking",
+            [
+                {"label": "dynamic (paper)", "dynamic": True},
+                {"label": "always-on", "dynamic": False},
+            ],
+        ),
+        runner,
+    )
+
+
+def ablation_package_filters(runner: Optional[Runner] = None) -> List[AblationResult]:
     """Section 7.3: package filters on (paper) vs profile-everything."""
-    results = []
-    workload_filter = CassandraWorkload.write_intensive().package_filter()
-    for label, pkg_filter in (
-        ("filtered (paper)", workload_filter),
-        ("profile-everything", PackageFilter.accept_all()),
-    ):
-        config = RolpConfig(package_filter=pkg_filter)
-        result, workload = _run(config)
-        results.append(
-            AblationResult.from_run(
-                label,
-                result,
-                profiled_sites=workload.vm.jit.profiled_alloc_site_count,
-                profiling_tax_ms=workload.vm.profiling_tax_ns / 1e6,
-            )
-        )
-    return results
+    return run_cells(
+        _study_cells(
+            "package_filters",
+            [
+                {"label": "filtered (paper)", "filtered": True},
+                {"label": "profile-everything", "filtered": False},
+            ],
+        ),
+        runner,
+    )
 
 
-def ablation_generations() -> List[AblationResult]:
+def ablation_generations(runner: Optional[Runner] = None) -> List[AblationResult]:
     """Two-generation pretenuring (Harris/Memento-style binary decision,
     Section 9) vs ROLP's 16 generations.
 
     The binary variant collapses every non-zero estimate to the old
     generation, co-locating objects with very different lifetimes.
     """
-    results = []
-    for label, min_age in (
-        ("16 generations (paper)", 2),
-        ("binary pretenuring", MAX_AGE),  # any estimate >= 15 -> old only
-    ):
-        config = RolpConfig(
-            package_filter=CassandraWorkload.write_intensive().package_filter(),
-            pretenure_min_age=min_age,
-        )
-        result, _ = _run(config)
-        results.append(AblationResult.from_run(label, result))
-    return results
+    return run_cells(
+        _study_cells(
+            "generations",
+            [
+                {"label": "16 generations (paper)", "min_age": 2},
+                # any estimate >= 15 -> old only
+                {"label": "binary pretenuring", "min_age": MAX_AGE},
+            ],
+        ),
+        runner,
+    )
 
 
-def ablation_increment_loss() -> List[AblationResult]:
+def ablation_increment_loss(runner: Optional[Runner] = None) -> List[AblationResult]:
     """Section 7.6: unsynchronized OLD-table updates.  Sweeps the
     modelled increment-loss probability to show decisions are robust."""
-    results = []
-    for loss in (0.0, 0.0005, 0.01, 0.05):
-        config = RolpConfig(
-            package_filter=CassandraWorkload.write_intensive().package_filter(),
-            increment_loss_probability=loss,
-        )
-        result, workload = _run(config)
-        results.append(
-            AblationResult.from_run(
-                "loss=%g" % loss,
-                result,
-                lost=workload.vm.profiler.old_table.lost_increments,
-                advice=len(workload.vm.profiler.advice),
-            )
-        )
-    return results
+    return run_cells(
+        _study_cells(
+            "increment_loss",
+            [
+                {"label": "loss=%g" % loss, "loss": loss}
+                for loss in (0.0, 0.0005, 0.01, 0.05)
+            ],
+        ),
+        runner,
+    )
 
 
-def ablation_allocation_sampling() -> List[AblationResult]:
+def ablation_allocation_sampling(runner: Optional[Runner] = None) -> List[AblationResult]:
     """Section 8.5's named extension: sample 1/N of allocations.
 
     Sweeps the sampling rate, showing the profiling tax falling while
     the learned decisions stay intact (until the sample gets too thin
     for the inference minimum-sample gate)."""
-    results = []
-    for rate in (1, 4, 16):
-        config = RolpConfig(
-            package_filter=CassandraWorkload.write_intensive().package_filter(),
-            allocation_sample_rate=rate,
-            # keep curves above the inference gate despite thin samples
-            min_samples=max(4, 32 // rate),
-        )
-        result, workload = _run(config)
-        results.append(
-            AblationResult.from_run(
-                "sample 1/%d" % rate,
-                result,
-                profiling_tax_ms=round(workload.vm.profiling_tax_ns / 1e6, 2),
-                advice=len(workload.vm.profiler.advice),
-                skipped=workload.vm.profiler.allocations_skipped,
-            )
-        )
-    return results
+    return run_cells(
+        _study_cells(
+            "allocation_sampling",
+            [{"label": "sample 1/%d" % rate, "rate": rate} for rate in (1, 4, 16)],
+        ),
+        runner,
+    )
 
 
-def ablation_offline_profile() -> List[AblationResult]:
+def ablation_offline_profile(runner: Optional[Runner] = None) -> List[AblationResult]:
     """POLM2-style offline profiling vs ROLP online profiling.
 
     Capture a profile from one ROLP run, then replay the workload with
     the static per-site decisions: zero warmup and zero profiling cost,
     but conflicted sites collapse to one conservative decision — the
     trade-off the paper's Sections 9/10 describe.
+
+    One cell, not two: the offline replay consumes the profile captured
+    by the online run, so the pair is not independently schedulable.
     """
+    cells = [make_cell("ablation_offline", operations=scaled_ops(CASSANDRA_OPS))]
+    return run_cells(cells, runner)[0]
+
+
+@cell_kind("ablation_offline", track=lambda p: "ablation/offline_profile")
+def _ablation_offline_cell(seed, telemetry, operations) -> List[AblationResult]:
     from repro.core.offline import OfflineAdviceProfiler, OfflineProfile
     from repro.gc import NG2CCollector
     from repro.heap import BandwidthModel, RegionHeap
     from repro.runtime import JavaVM
     from repro.metrics.pauses import percentile as _pct
 
-    ops = scaled_ops(CASSANDRA_OPS)
+    ops = operations
 
     # 1. the online (ROLP) run — also the capture run
-    online_result, online_workload = _run(operations=ops)
+    online_result, online_workload = _run(operations=ops, seed=seed)
     profile = OfflineProfile.capture(
         online_workload.vm.profiler, online_workload.vm
     )
 
-    # 2. the offline-profiled run (POLM2 mode)
-    workload = CassandraWorkload.write_intensive()
+    # 2. the offline-profiled run (POLM2 mode) — same seed, so the two
+    # runs differ only in where the advice came from
+    workload = CassandraWorkload.write_intensive(seed=seed)
     heap = RegionHeap(workload.heap_mb << 20)
     collector = NG2CCollector(
         heap,

@@ -6,6 +6,19 @@ Usage::
     rolp-bench fig8 --workloads cassandra-wi lucene
     ROLP_BENCH_SCALE=0.2 rolp-bench all
 
+Parallelism and caching (see docs/benchmarking.md)::
+
+    rolp-bench fig8 --jobs 4              # fan the grid out over 4 workers
+    rolp-bench all --cache-dir cache/     # cache each cell's result
+    rolp-bench all --resume               # continue an interrupted grid
+    rolp-bench fig8 --no-cache            # force every simulation to run
+
+Every experiment expands into independent (workload x collector x
+config) *cells* with deterministic per-cell seeds, so ``--jobs N``
+output is byte-identical to the serial run, interrupted grids resume
+from the cells already cached, and a warm-cache re-run performs zero
+simulations.
+
 Telemetry and machine-readable artifacts::
 
     rolp-bench fig8 --trace-out trace.json --metrics-out metrics.json
@@ -16,7 +29,8 @@ Telemetry and machine-readable artifacts::
 (load it in chrome://tracing or https://ui.perfetto.dev); ``--metrics-out``
 writes one JSON document with the experiment payloads plus the full
 metrics-registry dump; ``--json-dir`` writes one JSON file per
-experiment.
+experiment.  Per-run trace tracks are recorded on the serial path only
+(``--jobs 1``); cached cells record no new events.
 """
 
 from __future__ import annotations
@@ -29,10 +43,27 @@ from typing import Dict, List, Optional
 from repro import COLLECTOR_NAMES
 from repro.bench import ablations, artifacts, figures, tables
 from repro.bench.config import bench_scale
-from repro.bench.workload_registry import BIG_WORKLOADS, run_big_workload
+from repro.bench.runner import (
+    DEFAULT_BASE_SEED,
+    ResultCache,
+    Runner,
+    cell_kind,
+    make_cell,
+    run_cells,
+    shared_seed_scope,
+)
+from repro.bench.workload_registry import (
+    BIG_WORKLOADS,
+    big_workload_ops,
+    run_big_workload,
+)
 from repro.metrics.report import render_table
 from repro.telemetry import TelemetrySession
 from repro.workloads.dacapo import SPEC_BY_NAME
+
+#: default on-disk cell cache (override with --cache-dir or the
+#: ROLP_BENCH_CACHE_DIR environment variable; disable with --no-cache)
+DEFAULT_CACHE_DIR = ".rolp-bench-cache"
 
 #: the six ablation studies, in print order
 ABLATIONS = (
@@ -108,35 +139,48 @@ def _check_collectors(names: Optional[List[str]]) -> Optional[List[str]]:
     return names
 
 
+@cell_kind(
+    "trace_run",
+    track=lambda p: "%s/%s" % (p["workload"], p["collector"]),
+    seed_scope=shared_seed_scope("trace_run", "collector"),
+)
+def _trace_cell(seed, telemetry, workload, collector, operations):
+    result, _ = run_big_workload(
+        workload, collector, operations=operations, seed=seed, telemetry=telemetry
+    )
+    return {
+        "workload": workload,
+        "collector": collector,
+        "operations": result.operations,
+        "elapsed_ms": result.elapsed_ms,
+        "throughput_ops_s": result.throughput_ops_s,
+        "pause_count": len(result.pauses),
+        "total_pause_ms": sum(result.pause_ms),
+        "gc_cycles": result.gc_cycles,
+        "max_memory_bytes": result.max_memory_bytes,
+    }
+
+
 def _trace_experiment(
     workload_names: Optional[List[str]],
     collectors: Optional[List[str]],
     session: Optional[TelemetrySession],
+    runner: Optional[Runner] = None,
 ) -> List[Dict[str, object]]:
     """The ``trace`` experiment: run every workload under every
     collector with telemetry attached, returning one summary row per
     run."""
-    rows: List[Dict[str, object]] = []
-    for name in workload_names or sorted(BIG_WORKLOADS):
-        for collector in collectors or COLLECTOR_NAMES:
-            telemetry = (
-                session.for_run("%s/%s" % (name, collector)) if session else None
-            )
-            result, _ = run_big_workload(name, collector, telemetry=telemetry)
-            rows.append(
-                {
-                    "workload": name,
-                    "collector": collector,
-                    "operations": result.operations,
-                    "elapsed_ms": result.elapsed_ms,
-                    "throughput_ops_s": result.throughput_ops_s,
-                    "pause_count": len(result.pauses),
-                    "total_pause_ms": sum(result.pause_ms),
-                    "gc_cycles": result.gc_cycles,
-                    "max_memory_bytes": result.max_memory_bytes,
-                }
-            )
-    return rows
+    cells = [
+        make_cell(
+            "trace_run",
+            workload=name,
+            collector=collector,
+            operations=big_workload_ops(name),
+        )
+        for name in workload_names or sorted(BIG_WORKLOADS)
+        for collector in collectors or COLLECTOR_NAMES
+    ]
+    return run_cells(cells, runner, session)
 
 
 def render_trace_summary(rows: List[Dict[str, object]]) -> str:
@@ -193,6 +237,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="restrict the trace experiment to these collectors",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan simulation cells out across N worker processes "
+        "(results are byte-identical to --jobs 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=os.environ.get("ROLP_BENCH_CACHE_DIR", DEFAULT_CACHE_DIR),
+        help="directory for the per-cell result cache (default: "
+        "$ROLP_BENCH_CACHE_DIR or %s)" % DEFAULT_CACHE_DIR,
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted grid: like the default cached run, "
+        "but fails fast if the cache directory does not exist yet",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_BASE_SEED,
+        metavar="N",
+        help="base seed; every cell derives its own seed from "
+        "(cell key, base seed) (default: %d)" % DEFAULT_BASE_SEED,
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="PATH",
         help="write a Chrome trace_event JSON covering every run",
@@ -221,6 +299,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
                 return 2
 
+    if args.resume and args.no_cache:
+        print("rolp-bench: --resume conflicts with --no-cache", file=sys.stderr)
+        return 2
+    if args.resume and not os.path.isdir(args.cache_dir):
+        print(
+            "rolp-bench: --resume but no cache directory at %s" % args.cache_dir,
+            file=sys.stderr,
+        )
+        return 2
+
     todo = (
         ["table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations"]
         if args.experiment == "all"
@@ -230,6 +318,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     session: Optional[TelemetrySession] = None
     if args.trace_out or args.metrics_out or "trace" in todo:
         session = TelemetrySession()
+
+    runner = Runner(
+        jobs=args.jobs,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+        base_seed=args.seed,
+        session=session,
+        progress=True,
+    )
 
     payloads: Dict[str, object] = {}
     pause_studies = None  # memoized: fig8 and fig9 share the same runs
@@ -245,49 +341,66 @@ def main(argv: Optional[List[str]] = None) -> int:
     for experiment in todo:
         print("=" * 72)
         if experiment == "table1":
-            rows = tables.table1(workloads, session=session)
+            rows = tables.table1(workloads, session=session, runner=runner)
             payloads["table1"] = artifacts.table1_payload(rows)
             print("[Table 1] Big Data benchmark profiling summary")
             print(tables.render_table1(rows))
         elif experiment == "table2":
-            rows = tables.table2(specs, session=session)
+            rows = tables.table2(specs, session=session, runner=runner)
             payloads["table2"] = artifacts.table2_payload(rows)
             print("[Table 2] DaCapo profiling and conflicts")
             print(tables.render_table2(rows))
         elif experiment == "fig6":
-            series = figures.figure6(specs, session=session)
+            series = figures.figure6(specs, session=session, runner=runner)
             payloads["fig6"] = artifacts.figure6_payload(series)
             print("[Figure 6] DaCapo execution time normalized to G1")
             print(figures.render_figure6(series))
         elif experiment == "fig7":
-            series = figures.figure7(specs, session=session)
+            series = figures.figure7(specs, session=session, runner=runner)
             payloads["fig7"] = artifacts.figure7_payload(series)
             print("[Figure 7] Worst-case conflict resolution time (ms)")
             print(figures.render_figure7(series))
         elif experiment in ("fig8", "fig9"):
             if pause_studies is None:
-                pause_studies = figures.pause_study(workloads, session=session)
+                pause_studies = figures.pause_study(
+                    workloads, session=session, runner=runner
+                )
             payloads[experiment] = artifacts.pause_study_payload(pause_studies)
             if experiment == "fig8":
                 print(figures.render_figure8(pause_studies))
             else:
                 print(figures.render_figure9(pause_studies))
         elif experiment == "fig10":
-            study = figures.figure10(session=session)
+            study = figures.figure10(session=session, runner=runner)
             payloads["fig10"] = artifacts.figure10_payload(study)
             print(figures.render_figure10(study))
         elif experiment == "ablations":
             ablation_payloads: Dict[str, object] = {}
             for key, run, title in ABLATIONS:
-                results = run()
+                results = run(runner=runner)
                 ablation_payloads[key] = artifacts.ablation_payload(results)
                 print(ablations.render_ablation(results, title))
             payloads["ablations"] = ablation_payloads
         elif experiment == "trace":
-            rows = _trace_experiment(workloads, collectors, session)
+            rows = _trace_experiment(workloads, collectors, session, runner=runner)
             payloads["trace"] = artifacts.trace_payload(rows)
             print("[Trace] per-run summary (full trace via --trace-out)")
             print(render_trace_summary(rows))
+
+    stats = runner.stats
+    print(
+        "[runner] cells: %d | cache hits: %d | misses: %d | "
+        "simulations executed: %d | jobs: %d | %.1fs"
+        % (
+            stats.cells,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.simulations,
+            runner.jobs,
+            stats.elapsed_s,
+        ),
+        file=sys.stderr,
+    )
 
     if args.trace_out and session is not None:
         session.write_trace(args.trace_out)
@@ -299,6 +412,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "schema": artifacts.SCHEMA,
                 "scale": bench_scale(),
                 "experiments": payloads,
+                "runner": stats.as_dict(),
                 "metrics": session.metrics.to_json() if session is not None else {},
             },
         )

@@ -10,14 +10,52 @@ reproduce the *shapes* in minutes on a laptop.
 from __future__ import annotations
 
 import os
+import warnings
+
+#: smallest scale that still produces meaningful runs (see scaled_ops)
+MIN_SCALE = 0.01
+
+#: raw ROLP_BENCH_SCALE values already warned about (warn once per value)
+_warned_values = set()
+
+
+def _warn_once(raw: str, message: str) -> None:
+    if raw not in _warned_values:
+        _warned_values.add(raw)
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
 
 
 def bench_scale() -> float:
+    """The global benchmark scale from ``ROLP_BENCH_SCALE``.
+
+    Invalid values (non-numeric, zero, negative, NaN) fall back to 1.0
+    with a warning — silently running a full-scale grid because of a
+    typo like ``ROLP_BENCH_SCALE=O.2`` wastes hours.  Sub-floor values
+    clamp to ``MIN_SCALE``, also with a warning.  Each offending value
+    warns once per process.
+    """
+    raw = os.environ.get("ROLP_BENCH_SCALE", "1")
     try:
-        scale = float(os.environ.get("ROLP_BENCH_SCALE", "1"))
+        scale = float(raw)
     except ValueError:
-        scale = 1.0
-    return max(scale, 0.01)
+        _warn_once(
+            raw,
+            "ROLP_BENCH_SCALE=%r is not a number; running at scale 1.0" % raw,
+        )
+        return 1.0
+    if not scale > 0:  # catches 0, negatives and NaN
+        _warn_once(
+            raw,
+            "ROLP_BENCH_SCALE=%r must be positive; running at scale 1.0" % raw,
+        )
+        return 1.0
+    if scale < MIN_SCALE:
+        _warn_once(
+            raw,
+            "ROLP_BENCH_SCALE=%r is below the %g floor; clamping" % (raw, MIN_SCALE),
+        )
+        return MIN_SCALE
+    return scale
 
 
 def scaled_ops(base_ops: int) -> int:

@@ -5,6 +5,10 @@ figure; each ``render_figureN`` prints the same rows/series the paper
 plots.  Shapes — who wins, by what factor, where crossovers fall — are
 the reproduction target; absolute milliseconds depend on the bandwidth
 model's constants.
+
+Every experiment expands into :mod:`repro.bench.runner` cells and
+merges the cell results, so the same call serves the inline default, a
+``--jobs N`` worker pool, and warm-cache replays (pass ``runner=``).
 """
 
 from __future__ import annotations
@@ -23,14 +27,25 @@ from repro.metrics.report import (
     render_percentile_series,
     render_table,
 )
-from repro.workloads.dacapo import DACAPO_SPECS, DaCapoSpec
+from repro.workloads.dacapo import DACAPO_SPECS, DaCapoSpec, get_spec
 from repro.bench.config import (
     DACAPO_OVERHEAD_OPS,
     WARMUP_OPS,
     scaled_ops,
 )
-from repro.bench.tables import _run_dacapo
-from repro.bench.workload_registry import BIG_WORKLOADS, run_big_workload
+from repro.bench.runner import (
+    Runner,
+    cell_kind,
+    make_cell,
+    run_cells,
+    shared_seed_scope,
+)
+from repro.bench.tables import _dacapo_time_cell, _run_dacapo
+from repro.bench.workload_registry import (
+    BIG_WORKLOADS,
+    big_workload_ops,
+    run_big_workload,
+)
 
 #: collectors plotted in Figures 8/9 (paper omits ZGC: pauses < 10 ms)
 PAUSE_FIGURE_COLLECTORS = ("cms", "g1", "ng2c", "rolp")
@@ -47,38 +62,30 @@ FIG6_LABELS = {
 # --------------------------------------------------------------------------- Figure 6
 
 def figure6(
-    specs: Optional[Sequence[DaCapoSpec]] = None, session=None
+    specs: Optional[Sequence[DaCapoSpec]] = None,
+    session=None,
+    runner: Optional[Runner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """DaCapo execution time normalized to G1 at four profiling levels.
 
     Returns ``{benchmark: {mode: normalized execution time}}``.
     ``session`` (a :class:`repro.telemetry.TelemetrySession`) records a
-    trace/metrics track per run; the default records nothing.
+    trace/metrics track per run; the default records nothing.  The
+    timing cells are shared with Table 2's overhead simulation, so a
+    cached ``rolp-bench all`` runs each (benchmark, mode) pair once.
     """
     operations = scaled_ops(DACAPO_OVERHEAD_OPS)
-    series: Dict[str, Dict[str, float]] = {}
-    for spec in specs or DACAPO_SPECS:
-        baseline = _run_dacapo(
-            spec,
-            "real",
-            profiled=False,
-            operations=operations,
-            telemetry=session.for_run("fig6/%s/baseline" % spec.name) if session else None,
-        )
-        base_ns = baseline.clock.now_ns
-        row: Dict[str, float] = {}
+    specs = list(specs or DACAPO_SPECS)
+    cells = []
+    for spec in specs:
+        cells.append(_dacapo_time_cell(spec.name, "real", False, operations))
         for mode in FIG6_MODES:
-            vm = _run_dacapo(
-                spec,
-                mode,
-                profiled=True,
-                operations=operations,
-                telemetry=session.for_run("fig6/%s/%s" % (spec.name, mode))
-                if session
-                else None,
-            )
-            row[mode] = vm.clock.now_ns / base_ns
-        series[spec.name] = row
+            cells.append(_dacapo_time_cell(spec.name, mode, True, operations))
+    results = iter(run_cells(cells, runner, session))
+    series: Dict[str, Dict[str, float]] = {}
+    for spec in specs:
+        base_ns = next(results)
+        series[spec.name] = {mode: next(results) / base_ns for mode in FIG6_MODES}
     return series
 
 
@@ -94,10 +101,30 @@ def render_figure6(series: Dict[str, Dict[str, float]]) -> str:
 
 # --------------------------------------------------------------------------- Figure 7
 
+@cell_kind("fig7_profile", track=lambda p: "fig7/%s/real" % p["benchmark"])
+def _fig7_cell(seed, telemetry, benchmark, operations):
+    """One profiled DaCapo run; returns the two inputs of the
+    worst-case conflict-resolution model."""
+    vm = _run_dacapo(
+        get_spec(benchmark),
+        "real",
+        profiled=True,
+        operations=operations,
+        telemetry=telemetry,
+        seed=seed,
+    )
+    cycles = max(1, vm.collector.gc_cycles)
+    return {
+        "call_sites": vm.jit.profiled_call_site_count,
+        "avg_gc_interval_ns": vm.clock.now_ns / cycles,
+    }
+
+
 def figure7(
     specs: Optional[Sequence[DaCapoSpec]] = None,
     p_fractions: Sequence[float] = (0.05, 0.10, 0.20, 0.50),
     session=None,
+    runner: Optional[Runner] = None,
 ) -> Dict[str, Dict[float, float]]:
     """Worst-case conflict resolution time (ms) per benchmark and P.
 
@@ -107,20 +134,19 @@ def figure7(
     sites are exhausted).
     """
     operations = scaled_ops(DACAPO_OVERHEAD_OPS)
+    specs = list(specs or DACAPO_SPECS)
+    cells = [
+        make_cell("fig7_profile", benchmark=spec.name, operations=operations)
+        for spec in specs
+    ]
+    results = run_cells(cells, runner, session)
     series: Dict[str, Dict[float, float]] = {}
-    for spec in specs or DACAPO_SPECS:
-        vm = _run_dacapo(
-            spec,
-            "real",
-            profiled=True,
-            operations=operations,
-            telemetry=session.for_run("fig7/%s/real" % spec.name) if session else None,
-        )
-        call_sites = vm.jit.profiled_call_site_count
-        cycles = max(1, vm.collector.gc_cycles)
-        avg_gc_interval_ns = vm.clock.now_ns / cycles
+    for spec, profile in zip(specs, results):
         series[spec.name] = {
-            p: worst_case_resolution_ns(call_sites, p, 16, avg_gc_interval_ns) / 1e6
+            p: worst_case_resolution_ns(
+                profile["call_sites"], p, 16, profile["avg_gc_interval_ns"]
+            )
+            / 1e6
             for p in p_fractions
         }
     return series
@@ -159,11 +185,50 @@ class PauseStudy:
         }
 
 
+@cell_kind(
+    "pause",
+    track=lambda p: "%s/%s" % (p["workload"], p["collector"]),
+    # one workload replayed under each collector: the collector is the
+    # treatment, the operation stream must be identical across cells
+    seed_scope=shared_seed_scope("pause", "collector"),
+)
+def _pause_cell(seed, telemetry, workload, collector, operations, discard_fraction):
+    """One (workload, collector) run; returns the post-warmup pause
+    durations in ms — the only data Figures 8/9 need, kept small so
+    cache entries stay light."""
+    result, _ = run_big_workload(
+        workload, collector, operations=operations, seed=seed, telemetry=telemetry
+    )
+    cutoff_ns = result.elapsed_ms * 1e6 * discard_fraction
+    return [p.duration_ms for p in result.pauses if p.start_ns >= cutoff_ns]
+
+
+def pause_cells(
+    workload_names: Optional[Sequence[str]] = None,
+    collectors: Sequence[str] = PAUSE_FIGURE_COLLECTORS,
+    discard_fraction: float = 0.50,
+):
+    """The (workload x collector) grid of Figures 8/9 as runner cells."""
+    names = list(workload_names or sorted(BIG_WORKLOADS))
+    return names, [
+        make_cell(
+            "pause",
+            workload=name,
+            collector=collector,
+            operations=big_workload_ops(name),
+            discard_fraction=discard_fraction,
+        )
+        for name in names
+        for collector in collectors
+    ]
+
+
 def pause_study(
     workload_names: Optional[Sequence[str]] = None,
     collectors: Sequence[str] = PAUSE_FIGURE_COLLECTORS,
     discard_fraction: float = 0.50,
     session=None,
+    runner: Optional[Runner] = None,
 ) -> List[PauseStudy]:
     """Shared runner for Figures 8 and 9: every workload under every
     collector, collecting the raw pause lists.
@@ -174,19 +239,17 @@ def pause_study(
     the profile learning phase (the warmup itself is Figure 10's
     subject).  The fraction is larger than the paper's 17% because the
     scaled runs spend proportionally longer warming up.
+
+    Cells merge in grid order, so ``--jobs N`` output is byte-identical
+    to the serial run.
     """
+    names, cells = pause_cells(workload_names, collectors, discard_fraction)
+    results = iter(run_cells(cells, runner, session))
     studies: List[PauseStudy] = []
-    for name in workload_names or sorted(BIG_WORKLOADS):
+    for name in names:
         study = PauseStudy(workload=name)
         for collector in collectors:
-            telemetry = (
-                session.for_run("%s/%s" % (name, collector)) if session else None
-            )
-            result, _ = run_big_workload(name, collector, telemetry=telemetry)
-            cutoff_ns = result.elapsed_ms * 1e6 * discard_fraction
-            study.pauses_ms[collector] = [
-                p.duration_ms for p in result.pauses if p.start_ns >= cutoff_ns
-            ]
+            study.pauses_ms[collector] = next(results)
         studies.append(study)
     return studies
 
@@ -230,40 +293,56 @@ class WarmupStudy:
     decision_changes: List[int]
 
 
+@cell_kind(
+    "fig10_run",
+    track=lambda p: "fig10/%s/%s" % (p["workload"], p["collector"]),
+    seed_scope=shared_seed_scope("fig10_run", "collector"),
+)
+def _fig10_cell(seed, telemetry, workload, collector, operations):
+    result, wl = run_big_workload(
+        workload, collector, operations=operations, seed=seed, telemetry=telemetry
+    )
+    summary = {
+        "throughput_ops_s": result.throughput_ops_s,
+        "max_memory_bytes": result.max_memory_bytes,
+    }
+    if collector == "rolp":
+        summary["timeline"] = result.pause_timeline()
+        summary["decision_changes"] = list(wl.vm.profiler.decision_change_log)
+    return summary
+
+
 def figure10(
     workload_name: str = "cassandra-wi",
     collectors: Sequence[str] = ("cms", "zgc", "ng2c", "rolp"),
     session=None,
+    runner: Optional[Runner] = None,
 ) -> WarmupStudy:
     operations = scaled_ops(WARMUP_OPS)
-
-    g1_result, _ = run_big_workload(
-        workload_name,
-        "g1",
-        operations=operations,
-        telemetry=session.for_run("fig10/%s/g1" % workload_name) if session else None,
-    )
-    g1_throughput = g1_result.throughput_ops_s
-    g1_memory = g1_result.max_memory_bytes
+    cells = [
+        make_cell(
+            "fig10_run",
+            workload=workload_name,
+            collector=collector,
+            operations=operations,
+        )
+        for collector in ("g1",) + tuple(collectors)
+    ]
+    results = run_cells(cells, runner, session)
+    g1 = results[0]
 
     throughput_norm = {"g1": 1.0}
     memory_norm = {"g1": 1.0}
     rolp_timeline: List[Tuple[float, float]] = []
     decision_changes: List[int] = []
-    for collector in collectors:
-        result, workload = run_big_workload(
-            workload_name,
-            collector,
-            operations=operations,
-            telemetry=session.for_run("fig10/%s/%s" % (workload_name, collector))
-            if session
-            else None,
+    for collector, summary in zip(collectors, results[1:]):
+        throughput_norm[collector] = (
+            summary["throughput_ops_s"] / g1["throughput_ops_s"]
         )
-        throughput_norm[collector] = result.throughput_ops_s / g1_throughput
-        memory_norm[collector] = result.max_memory_bytes / g1_memory
+        memory_norm[collector] = summary["max_memory_bytes"] / g1["max_memory_bytes"]
         if collector == "rolp":
-            rolp_timeline = result.pause_timeline()
-            decision_changes = list(workload.vm.profiler.decision_change_log)
+            rolp_timeline = summary["timeline"]
+            decision_changes = summary["decision_changes"]
     return WarmupStudy(
         rolp_timeline=rolp_timeline,
         throughput_norm=throughput_norm,

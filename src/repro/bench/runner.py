@@ -1,0 +1,409 @@
+"""Parallel experiment runner with on-disk result caching.
+
+The paper's evaluation is a grid of (workload x collector x config)
+simulations; Figures 6-10 and Tables 1-2 all re-run overlapping subsets
+of it.  This module turns every experiment into independent *cells*:
+
+* a :class:`Cell` is one simulation (or one tightly-coupled group of
+  simulations, e.g. a Table 2 profile run) named by a *kind* plus a
+  sorted tuple of scalar parameters.  ``cell.key`` is a stable,
+  human-readable identity string;
+* every cell runs with a deterministic seed derived from
+  ``(cell key, base seed)`` via SHA-256 (:func:`derive_seed`), so a cell
+  produces bit-identical results no matter which worker runs it, in
+  which order, on which machine;
+* a :class:`Runner` fans cells out across a ``multiprocessing`` pool
+  (``jobs > 1``) or executes them inline (``jobs = 1``, the default —
+  this path also carries per-run telemetry), merging results back in
+  *submission* order so parallel output is byte-identical to serial;
+* a :class:`ResultCache` persists each cell's result on disk, keyed by
+  a hash of the cell config + ``ROLP_BENCH_SCALE`` + seed +
+  :data:`CACHE_VERSION`, so interrupted grids resume where they stopped
+  and repeat runs perform zero simulations.
+
+Cell kinds are registered by the experiment modules
+(:mod:`repro.bench.figures`, :mod:`repro.bench.tables`,
+:mod:`repro.bench.ablations`) with the :func:`cell_kind` decorator; a
+kind's implementation must be a module-level function taking
+``(seed, telemetry, **params)`` and returning a picklable result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.config import bench_scale
+
+#: bump when a cell implementation changes meaning — invalidates every
+#: cached result produced by older code
+CACHE_VERSION = "rolp-bench-cache/v1"
+
+#: default base seed; per-cell seeds are derived from it, never used raw
+DEFAULT_BASE_SEED = 42
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+# --------------------------------------------------------------------------- cells
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of the experiment grid."""
+
+    kind: str
+    params: Tuple[Tuple[str, object], ...]
+
+    @property
+    def key(self) -> str:
+        """Stable human-readable identity, e.g.
+        ``pause(collector='g1', discard_fraction=0.5, ...)``."""
+        return "%s(%s)" % (
+            self.kind,
+            ", ".join("%s=%r" % item for item in self.params),
+        )
+
+    @property
+    def label(self) -> str:
+        """Short progress label (track name if the kind defines one)."""
+        fmt = _TRACK_NAMES.get(self.kind)
+        return fmt(dict(self.params)) if fmt else self.key
+
+    @property
+    def seed_key(self) -> str:
+        """The string the cell's seed derives from.
+
+        By default the full :attr:`key`; kinds registered with a
+        ``seed_scope`` drop their *treatment* parameters (collector,
+        JIT mode, ablation knob) so that the cells of one controlled
+        comparison replay the identical workload and differ only in the
+        treatment — the paper's methodology, and what the ablation
+        studies' "decisions unchanged" claims rest on.
+        """
+        scope = _SEED_SCOPES.get(self.kind)
+        return scope(dict(self.params)) if scope else self.key
+
+
+def make_cell(kind: str, **params) -> Cell:
+    """Build a cell, validating that every parameter is a scalar (the
+    cache key and the seed derivation both depend on stable reprs)."""
+    for name, value in params.items():
+        if not isinstance(value, _SCALAR_TYPES):
+            raise TypeError(
+                "cell parameter %s=%r is not a scalar (%s)"
+                % (name, value, type(value).__name__)
+            )
+    return Cell(kind, tuple(sorted(params.items())))
+
+
+def derive_seed(key: str, base_seed: int = DEFAULT_BASE_SEED) -> int:
+    """Deterministic per-cell seed from ``(cell key, base seed)``.
+
+    SHA-256 keeps the derivation stable across Python versions and
+    processes (``hash()`` is salted per process, so it must not be used
+    here).
+    """
+    digest = hashlib.sha256(("%d\x00%s" % (base_seed, key)).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+# ------------------------------------------------------------------- kind registry
+
+_CELL_KINDS: Dict[str, Callable[..., object]] = {}
+_TRACK_NAMES: Dict[str, Callable[[Dict[str, object]], str]] = {}
+_SEED_SCOPES: Dict[str, Callable[[Dict[str, object]], str]] = {}
+
+
+def shared_seed_scope(kind: str, *treatment: str) -> Callable[[Dict[str, object]], str]:
+    """A ``seed_scope`` callable: the cell key with the *treatment*
+    parameters removed, so cells that differ only in them derive the
+    same seed (e.g. one pause-study workload replayed under each
+    collector)."""
+
+    def scope(params: Dict[str, object]) -> str:
+        items = sorted(
+            (name, value) for name, value in params.items() if name not in treatment
+        )
+        return "%s(%s)" % (kind, ", ".join("%s=%r" % item for item in items))
+
+    return scope
+
+
+def cell_kind(
+    name: str,
+    track: Optional[Callable[[Dict[str, object]], str]] = None,
+    seed_scope: Optional[Callable[[Dict[str, object]], str]] = None,
+):
+    """Register a cell implementation under ``name``.
+
+    ``track`` maps the cell's params to the telemetry track name used
+    when the cell runs inline with a session attached (kept identical to
+    the pre-runner track names, e.g. ``cassandra-wi/g1``).
+
+    ``seed_scope`` (usually :func:`shared_seed_scope`) maps the params
+    to the string the seed derives from, when that must *not* be the
+    full cell key — see :attr:`Cell.seed_key`.
+    """
+
+    def register(fn: Callable[..., object]) -> Callable[..., object]:
+        _CELL_KINDS[name] = fn
+        if track is not None:
+            _TRACK_NAMES[name] = track
+        if seed_scope is not None:
+            _SEED_SCOPES[name] = seed_scope
+        return fn
+
+    return register
+
+
+def _ensure_kinds() -> None:
+    """Import every module that registers cell kinds (needed when a
+    worker starts from a fresh interpreter, i.e. spawn start method)."""
+    from repro.bench import ablations, cli, figures, tables  # noqa: F401
+
+
+def _execute(cell: Cell, seed: int, telemetry=None):
+    _ensure_kinds()
+    try:
+        fn = _CELL_KINDS[cell.kind]
+    except KeyError:
+        raise KeyError(
+            "unknown cell kind %r (registered: %s)"
+            % (cell.kind, ", ".join(sorted(_CELL_KINDS)))
+        )
+    return fn(seed=seed, telemetry=telemetry, **dict(cell.params))
+
+
+def _pool_execute(payload: Tuple[Cell, int]):
+    """Worker-side entry point (module-level so it pickles)."""
+    cell, seed = payload
+    return _execute(cell, seed, telemetry=None)
+
+
+# -------------------------------------------------------------------------- cache
+
+class ResultCache:
+    """Pickle-per-cell disk cache.
+
+    Layout: ``<dir>/<kind>/<sha256 of key material>.pkl``.  The key
+    material covers the cache version, the cell kind + params, the
+    derived seed and ``ROLP_BENCH_SCALE`` — anything else (code
+    changes) is handled by bumping :data:`CACHE_VERSION`.  Writes are
+    atomic (tmp file + rename) so an interrupted run never leaves a
+    truncated entry behind.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    def key_material(self, cell: Cell, seed: int) -> str:
+        return "\n".join(
+            (
+                CACHE_VERSION,
+                cell.key,
+                "seed=%d" % seed,
+                "scale=%r" % bench_scale(),
+            )
+        )
+
+    def path(self, cell: Cell, seed: int) -> str:
+        digest = hashlib.sha256(self.key_material(cell, seed).encode()).hexdigest()
+        return os.path.join(self.directory, cell.kind, digest + ".pkl")
+
+    def load(self, cell: Cell, seed: int) -> Tuple[bool, object]:
+        """``(hit, result)`` — unreadable/corrupt entries count as misses."""
+        path = self.path(cell, seed)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return False, None
+        if entry.get("key_material") != self.key_material(cell, seed):
+            return False, None
+        return True, entry["result"]
+
+    def store(self, cell: Cell, seed: int, result: object) -> None:
+        path = self.path(cell, seed)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp.%d" % os.getpid()
+        with open(tmp, "wb") as handle:
+            pickle.dump(
+                {
+                    "key_material": self.key_material(cell, seed),
+                    "cell_key": cell.key,
+                    "result": result,
+                },
+                handle,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        os.replace(tmp, path)
+
+
+# ------------------------------------------------------------------------- runner
+
+@dataclass
+class RunnerStats:
+    """Hit/miss/execution counters for one :class:`Runner` lifetime."""
+
+    cells: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: simulations actually executed (== cache_misses; kept separate so
+    #: the acceptance criterion "a warm-cache re-run performs zero
+    #: simulations" reads off one field)
+    simulations: int = 0
+    elapsed_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "cells": self.cells,
+            "memo_hits": self.memo_hits,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "simulations": self.simulations,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+class Runner:
+    """Executes cells inline or across a worker pool, with caching.
+
+    One runner spans one bench invocation: it carries an in-memory memo
+    (so ``fig8`` and ``fig9``, or ``fig6`` and ``table2``, share their
+    overlapping cells within a single ``rolp-bench all``), the disk
+    cache, the worker-pool size and the telemetry session used for
+    progress counters and — inline only — per-run trace tracks.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        base_seed: int = DEFAULT_BASE_SEED,
+        session=None,
+        progress: bool = False,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.base_seed = base_seed
+        self.session = session
+        self.progress = progress
+        self.stats = RunnerStats()
+        self._memo: Dict[Cell, object] = {}
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.session is not None:
+            self.session.metrics.counter(
+                "bench_runner_" + name, "experiment-runner %s" % name
+            ).inc(amount)
+
+    def _note(self, index: int, total: int, cell: Cell, outcome: str, secs: float) -> None:
+        if self.progress:
+            print(
+                "[runner] (%d/%d) %-40s %s (%.2fs)"
+                % (index, total, cell.label, outcome, secs),
+                file=sys.stderr,
+            )
+
+    # -- execution ---------------------------------------------------------------
+
+    def seed_for(self, cell: Cell) -> int:
+        return derive_seed(cell.seed_key, self.base_seed)
+
+    def run(self, cells: Sequence[Cell]) -> List[object]:
+        """Execute ``cells``, returning results in the given order.
+
+        Duplicate cells (within this call or across earlier calls on
+        the same runner) execute once.  Results merge deterministically:
+        position ``i`` of the return value is cell ``i``'s result
+        regardless of pool scheduling.
+        """
+        started = time.time()
+        pending: List[Cell] = []  # unique cells needing execution, in order
+        for cell in cells:
+            if cell in self._memo or cell in pending:
+                continue
+            pending.append(cell)
+        self.stats.cells += len(pending)
+        self.stats.memo_hits += sum(1 for cell in cells if cell in self._memo)
+
+        to_run: List[Cell] = []
+        total = len(pending)
+        for index, cell in enumerate(pending, 1):
+            seed = self.seed_for(cell)
+            if self.cache is not None:
+                hit, result = self.cache.load(cell, seed)
+                if hit:
+                    self._memo[cell] = result
+                    self.stats.cache_hits += 1
+                    self._count("cache_hits")
+                    self._note(index, total, cell, "cache hit", 0.0)
+                    continue
+            to_run.append(cell)
+
+        self.stats.cache_misses += len(to_run)
+        self.stats.simulations += len(to_run)
+        self._count("cells", len(pending))
+        self._count("cache_misses", len(to_run))
+        self._count("simulations", len(to_run))
+
+        if self.jobs > 1 and len(to_run) > 1:
+            self._run_pool(to_run)
+        else:
+            self._run_inline(to_run, total)
+
+        self.stats.elapsed_s += time.time() - started
+        return [self._memo[cell] for cell in cells]
+
+    def _run_inline(self, cells: Sequence[Cell], total: int) -> None:
+        for index, cell in enumerate(cells, 1):
+            telemetry = (
+                self.session.for_run(cell.label) if self.session is not None else None
+            )
+            cell_started = time.time()
+            result = _execute(cell, self.seed_for(cell), telemetry=telemetry)
+            self._note(index, total, cell, "ran", time.time() - cell_started)
+            self._finish(cell, result)
+
+    def _run_pool(self, cells: Sequence[Cell]) -> None:
+        # fork (where available) inherits the kind registry and the
+        # environment; spawn re-imports the experiment modules via
+        # _ensure_kinds().  Workers run without per-run telemetry —
+        # trace tracks only exist on the inline path (documented in
+        # docs/benchmarking.md).
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        payloads = [(cell, self.seed_for(cell)) for cell in cells]
+        total = len(cells)
+        with context.Pool(processes=min(self.jobs, len(cells))) as pool:
+            started = time.time()
+            for index, (cell, result) in enumerate(
+                zip(cells, pool.imap(_pool_execute, payloads)), 1
+            ):
+                self._note(index, total, cell, "ran", time.time() - started)
+                self._finish(cell, result)
+
+    def _finish(self, cell: Cell, result: object) -> None:
+        self._memo[cell] = result
+        if self.cache is not None:
+            self.cache.store(cell, self.seed_for(cell), result)
+
+
+def run_cells(cells: Sequence[Cell], runner: Optional[Runner] = None, session=None) -> List[object]:
+    """Experiment-module helper: run ``cells`` on ``runner``, or on a
+    throwaway inline runner carrying ``session`` (the pre-runner
+    behavior of every ``figureN()``/``tableN()`` call)."""
+    if runner is None:
+        runner = Runner(session=session)
+    return runner.run(cells)

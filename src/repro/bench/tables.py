@@ -24,9 +24,20 @@ from repro.heap import BandwidthModel, RegionHeap
 from repro.metrics.report import render_table
 from repro.runtime import JavaVM, VMFlags
 from repro.workloads.base import run_workload
-from repro.workloads.dacapo import DACAPO_SPECS, DaCapoSpec, DaCapoWorkload
+from repro.workloads.dacapo import DACAPO_SPECS, DaCapoSpec, DaCapoWorkload, get_spec
 from repro.bench.config import DACAPO_OVERHEAD_OPS, DACAPO_PROFILE_OPS, scaled_ops
-from repro.bench.workload_registry import BIG_WORKLOADS, run_big_workload
+from repro.bench.runner import (
+    Runner,
+    cell_kind,
+    make_cell,
+    run_cells,
+    shared_seed_scope,
+)
+from repro.bench.workload_registry import (
+    BIG_WORKLOADS,
+    big_workload_ops,
+    run_big_workload,
+)
 
 
 @dataclass
@@ -39,34 +50,43 @@ class Table1Row:
     old_table_mb: float
 
 
+@cell_kind("table1", track=lambda p: "table1/%s/rolp" % p["workload"])
+def _table1_cell(seed, telemetry, workload, operations) -> Table1Row:
+    """One workload under ROLP, summarized straight into its table row
+    (the row is what crosses the worker/cache boundary, not the VM)."""
+    result, wl = run_big_workload(
+        workload, "rolp", operations=operations, seed=seed, telemetry=telemetry
+    )
+    vm = wl.vm
+    profiler = vm.profiler
+    total_alloc, total_calls = wl.count_sites()
+    pas = vm.jit.profiled_alloc_site_count / total_alloc * 100 if total_alloc else 0
+    pmc = vm.jit.profiled_call_site_count / total_calls * 100 if total_calls else 0
+    return Table1Row(
+        workload=workload,
+        pas_percent=pas,
+        pmc_percent=pmc,
+        conflicts=profiler.resolver.conflicts_seen,
+        ng2c_annotations=wl.annotated_sites,
+        old_table_mb=profiler.old_table_memory_bytes() / (1 << 20),
+    )
+
+
 def table1(
-    workload_names: Optional[Sequence[str]] = None, session=None
+    workload_names: Optional[Sequence[str]] = None,
+    session=None,
+    runner: Optional[Runner] = None,
 ) -> List[Table1Row]:
     """Run the six large workloads under ROLP and collect Table 1.
 
     ``session`` (a :class:`repro.telemetry.TelemetrySession`) records a
     trace/metrics track per run; the default records nothing.
     """
-    rows: List[Table1Row] = []
-    for name in workload_names or sorted(BIG_WORKLOADS):
-        telemetry = session.for_run("table1/%s/rolp" % name) if session else None
-        result, workload = run_big_workload(name, "rolp", telemetry=telemetry)
-        vm = workload.vm
-        profiler = vm.profiler
-        total_alloc, total_calls = workload.count_sites()
-        pas = vm.jit.profiled_alloc_site_count / total_alloc * 100 if total_alloc else 0
-        pmc = vm.jit.profiled_call_site_count / total_calls * 100 if total_calls else 0
-        rows.append(
-            Table1Row(
-                workload=name,
-                pas_percent=pas,
-                pmc_percent=pmc,
-                conflicts=profiler.resolver.conflicts_seen,
-                ng2c_annotations=workload.annotated_sites,
-                old_table_mb=profiler.old_table_memory_bytes() / (1 << 20),
-            )
-        )
-    return rows
+    cells = [
+        make_cell("table1", workload=name, operations=big_workload_ops(name))
+        for name in workload_names or sorted(BIG_WORKLOADS)
+    ]
+    return run_cells(cells, runner, session)
 
 
 def render_table1(rows: Sequence[Table1Row]) -> str:
@@ -103,10 +123,11 @@ def _run_dacapo(
     profiled: bool,
     operations: int,
     telemetry=None,
+    seed: Optional[int] = None,
 ) -> JavaVM:
     """One DaCapo run on G1 (profiling overhead isolated from GC
     policy changes, as in the paper's Figure 6 setup)."""
-    workload = DaCapoWorkload(spec)
+    workload = DaCapoWorkload(spec) if seed is None else DaCapoWorkload(spec, seed=seed)
     heap = RegionHeap(workload.heap_mb << 20)
     gc = G1Collector(heap, BandwidthModel(), young_regions=workload.young_regions)
     profiler = RolpProfiler(RolpConfig()) if profiled else None
@@ -117,35 +138,94 @@ def _run_dacapo(
     return vm
 
 
-def table2(specs: Optional[Sequence[DaCapoSpec]] = None, session=None) -> List[Table2Row]:
-    """Run the DaCapo suite under ROLP and collect Table 2."""
-    rows: List[Table2Row] = []
+def _dacapo_track(params) -> str:
+    mode = "baseline" if not params["profiled"] else params["mode"]
+    return "fig6/%s/%s" % (params["benchmark"], mode)
+
+
+@cell_kind(
+    "dacapo_time",
+    track=_dacapo_track,
+    # base/fast/slow runs of one benchmark form a controlled timing
+    # comparison; only the JIT mode may differ between them
+    seed_scope=shared_seed_scope("dacapo_time", "mode", "profiled"),
+)
+def _dacapo_time(seed, telemetry, benchmark, mode, profiled, operations) -> int:
+    """Simulated execution time (ns) of one DaCapo configuration —
+    shared between Figure 6 and Table 2's overhead simulation."""
+    vm = _run_dacapo(
+        get_spec(benchmark),
+        mode,
+        profiled=profiled,
+        operations=operations,
+        telemetry=telemetry,
+        seed=seed,
+    )
+    return vm.clock.now_ns
+
+
+def _dacapo_time_cell(benchmark: str, mode: str, profiled: bool, operations: int):
+    return make_cell(
+        "dacapo_time",
+        benchmark=benchmark,
+        mode=mode,
+        profiled=profiled,
+        operations=operations,
+    )
+
+
+@cell_kind("table2_profile", track=lambda p: "table2/%s/rolp" % p["benchmark"])
+def _table2_profile(seed, telemetry, benchmark, operations):
+    """Conflict discovery run (ROLP on NG2C, full pipeline)."""
+    workload = DaCapoWorkload(get_spec(benchmark), seed=seed)
+    run_workload(workload, "rolp", operations=operations, telemetry=telemetry)
+    vm = workload.vm
+    return {
+        "conflicts": vm.profiler.resolver.conflicts_seen,
+        "pmc": vm.jit.profiled_call_site_count,
+        "pas": vm.jit.profiled_alloc_site_count,
+    }
+
+
+def table2(
+    specs: Optional[Sequence[DaCapoSpec]] = None,
+    session=None,
+    runner: Optional[Runner] = None,
+) -> List[Table2Row]:
+    """Run the DaCapo suite under ROLP and collect Table 2.
+
+    Per benchmark: one profile cell plus three timing cells for the
+    overhead simulation — what would tracking 20% of method calls cost,
+    measured as 20% of the fast→slow execution-time gap.  The timing
+    cells are the same cells Figure 6 uses.
+    """
     profile_ops = scaled_ops(DACAPO_PROFILE_OPS)
     overhead_ops = scaled_ops(DACAPO_OVERHEAD_OPS)
-    for spec in specs or DACAPO_SPECS:
-        # Conflict discovery run (ROLP on NG2C, full pipeline).
-        workload = DaCapoWorkload(spec)
-        telemetry = session.for_run("table2/%s/rolp" % spec.name) if session else None
-        run_workload(workload, "rolp", operations=profile_ops, telemetry=telemetry)
-        vm = workload.vm
-        conflicts = vm.profiler.resolver.conflicts_seen
-
-        # Overhead simulation: what would tracking 20% of method calls
-        # cost?  Measured as 20% of the fast→slow execution-time gap.
-        base = _run_dacapo(spec, "real", profiled=False, operations=overhead_ops)
-        fast = _run_dacapo(spec, "fast", profiled=True, operations=overhead_ops)
-        slow = _run_dacapo(spec, "slow", profiled=True, operations=overhead_ops)
-        gap = (slow.clock.now_ns - fast.clock.now_ns) / base.clock.now_ns
-        overhead = max(0.0, 0.20 * gap * 100)
-
+    specs = list(specs or DACAPO_SPECS)
+    cells = []
+    for spec in specs:
+        cells.append(
+            make_cell("table2_profile", benchmark=spec.name, operations=profile_ops)
+        )
+        cells.append(_dacapo_time_cell(spec.name, "real", False, overhead_ops))
+        cells.append(_dacapo_time_cell(spec.name, "fast", True, overhead_ops))
+        cells.append(_dacapo_time_cell(spec.name, "slow", True, overhead_ops))
+    results = iter(run_cells(cells, runner, session))
+    rows: List[Table2Row] = []
+    for spec in specs:
+        profile = next(results)
+        base_ns = next(results)
+        fast_ns = next(results)
+        slow_ns = next(results)
+        gap = (slow_ns - fast_ns) / base_ns
         rows.append(
             Table2Row(
                 benchmark=spec.name,
                 heap_mb=spec.heap_mb,
-                pmc=vm.jit.profiled_call_site_count,
-                pas=vm.jit.profiled_alloc_site_count,
-                conflicts=conflicts,
-                conflict_overhead_percent=overhead,
+                pmc=profile["pmc"],
+                pas=profile["pas"],
+                conflicts=profile["conflicts"],
+                conflict_overhead_percent=max(0.0, 0.20 * gap * 100),
             )
         )
     return rows

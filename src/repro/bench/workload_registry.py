@@ -11,14 +11,15 @@ from repro.workloads.kvstore import CassandraWorkload
 from repro.workloads.search import LuceneWorkload
 from repro.bench.config import CASSANDRA_OPS, GRAPHCHI_OPS, LUCENE_OPS, scaled_ops
 
-#: constructors for the paper's six large-scale workloads
-BIG_WORKLOADS: Dict[str, Callable[[], Workload]] = {
+#: constructors for the paper's six large-scale workloads; every
+#: constructor accepts the base Workload kwargs (notably ``seed``)
+BIG_WORKLOADS: Dict[str, Callable[..., Workload]] = {
     "cassandra-wi": CassandraWorkload.write_intensive,
     "cassandra-rw": CassandraWorkload.read_write,
     "cassandra-ri": CassandraWorkload.read_intensive,
     "lucene": LuceneWorkload,
-    "graphchi-cc": lambda: GraphChiWorkload("cc"),
-    "graphchi-pr": lambda: GraphChiWorkload("pr"),
+    "graphchi-cc": lambda **kwargs: GraphChiWorkload("cc", **kwargs),
+    "graphchi-pr": lambda **kwargs: GraphChiWorkload("pr", **kwargs),
 }
 
 #: per-workload default operation counts (pre-scaling).  The read-heavy
@@ -36,23 +37,33 @@ BIG_WORKLOAD_OPS: Dict[str, int] = {
 }
 
 
-def make_big_workload(name: str) -> Workload:
+def make_big_workload(name: str, seed: Optional[int] = None) -> Workload:
+    """Construct a workload by name; ``seed=None`` keeps each
+    workload's own default (the experiment runner passes per-cell
+    derived seeds)."""
     try:
-        return BIG_WORKLOADS[name]()
+        constructor = BIG_WORKLOADS[name]
     except KeyError:
         raise KeyError(
             "unknown workload %r (have: %s)" % (name, ", ".join(sorted(BIG_WORKLOADS)))
         )
+    return constructor() if seed is None else constructor(seed=seed)
+
+
+def big_workload_ops(name: str) -> int:
+    """The scaled default operation count for one of the six workloads."""
+    return scaled_ops(BIG_WORKLOAD_OPS[name])
 
 
 def run_big_workload(
     name: str,
     collector: str,
     operations: Optional[int] = None,
+    seed: Optional[int] = None,
     **kwargs,
 ):
     """Run one of the six workloads; returns ``(RunResult, Workload)``."""
-    workload = make_big_workload(name)
-    ops = operations if operations is not None else scaled_ops(BIG_WORKLOAD_OPS[name])
+    workload = make_big_workload(name, seed=seed)
+    ops = operations if operations is not None else big_workload_ops(name)
     result = run_workload(workload, collector, operations=ops, **kwargs)
     return result, workload

@@ -5,6 +5,7 @@ import os
 
 import pytest
 
+from repro.bench import config
 from repro.bench.config import bench_scale, scaled_ops
 from repro.bench.figures import (
     FIG6_MODES,
@@ -44,6 +45,55 @@ class TestConfig:
     def test_floor_keeps_runs_meaningful(self, monkeypatch):
         monkeypatch.setenv("ROLP_BENCH_SCALE", "0.0001")
         assert scaled_ops(100_000) >= 2_000
+
+
+class TestScaleWarnings:
+    """Invalid ROLP_BENCH_SCALE values warn instead of silently running
+    a full-scale grid (a typo like ``O.2`` used to cost hours)."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_warning_state(self, monkeypatch):
+        monkeypatch.setattr(config, "_warned_values", set())
+
+    def test_garbage_warns_and_falls_back_to_one(self, monkeypatch):
+        monkeypatch.setenv("ROLP_BENCH_SCALE", "O.2")
+        with pytest.warns(RuntimeWarning, match="not a number"):
+            assert bench_scale() == 1.0
+
+    def test_negative_warns_and_falls_back_to_one(self, monkeypatch):
+        monkeypatch.setenv("ROLP_BENCH_SCALE", "-0.5")
+        with pytest.warns(RuntimeWarning, match="must be positive"):
+            assert bench_scale() == 1.0
+
+    def test_zero_warns_and_falls_back_to_one(self, monkeypatch):
+        monkeypatch.setenv("ROLP_BENCH_SCALE", "0")
+        with pytest.warns(RuntimeWarning, match="must be positive"):
+            assert bench_scale() == 1.0
+
+    def test_nan_warns_and_falls_back_to_one(self, monkeypatch):
+        monkeypatch.setenv("ROLP_BENCH_SCALE", "nan")
+        with pytest.warns(RuntimeWarning, match="must be positive"):
+            assert bench_scale() == 1.0
+
+    def test_sub_floor_warns_and_clamps(self, monkeypatch):
+        monkeypatch.setenv("ROLP_BENCH_SCALE", "0.0001")
+        with pytest.warns(RuntimeWarning, match="below the 0.01 floor"):
+            assert bench_scale() == config.MIN_SCALE
+
+    def test_each_value_warns_exactly_once(self, monkeypatch, recwarn):
+        monkeypatch.setenv("ROLP_BENCH_SCALE", "bogus")
+        assert bench_scale() == 1.0
+        assert len(recwarn.list) == 1
+        assert bench_scale() == 1.0  # same bad value: fallback, no new warning
+        assert len(recwarn.list) == 1
+        monkeypatch.setenv("ROLP_BENCH_SCALE", "also-bogus")
+        bench_scale()  # a *different* bad value warns again
+        assert len(recwarn.list) == 2
+
+    def test_valid_values_never_warn(self, monkeypatch, recwarn):
+        monkeypatch.setenv("ROLP_BENCH_SCALE", "0.25")
+        assert bench_scale() == 0.25
+        assert not recwarn.list
 
 
 class TestRegistry:

@@ -1,0 +1,251 @@
+"""Unit tests for the experiment runner (repro.bench.runner): cell
+identity, seed derivation, memoisation, the disk cache and the worker
+pool — all exercised through a cheap test-only cell kind."""
+
+import pickle
+
+import pytest
+
+from repro.bench import runner as runner_mod
+from repro.bench.runner import (
+    DEFAULT_BASE_SEED,
+    Cell,
+    ResultCache,
+    Runner,
+    cell_kind,
+    derive_seed,
+    make_cell,
+    run_cells,
+    shared_seed_scope,
+)
+from repro.telemetry import TelemetrySession
+
+# every inline execution appends here, so tests can count simulations
+_EXECUTED = []
+
+
+@cell_kind("echo_test", track=lambda p: "echo/%s" % p["tag"])
+def _echo_cell(seed, telemetry, tag, value=0):
+    _EXECUTED.append(tag)
+    return {"tag": tag, "value": value, "seed": seed}
+
+
+@cell_kind("scoped_test", seed_scope=shared_seed_scope("scoped_test", "treatment"))
+def _scoped_cell(seed, telemetry, subject, treatment):
+    return seed
+
+
+@pytest.fixture(autouse=True)
+def _reset_executions():
+    del _EXECUTED[:]
+
+
+def echo(tag, value=0):
+    return make_cell("echo_test", tag=tag, value=value)
+
+
+class TestCellIdentity:
+    def test_key_is_stable_and_param_order_independent(self):
+        a = make_cell("echo_test", tag="x", value=3)
+        b = make_cell("echo_test", value=3, tag="x")
+        assert a == b
+        assert a.key == b.key == "echo_test(tag='x', value=3)"
+
+    def test_label_uses_registered_track_name(self):
+        assert echo("x").label == "echo/x"
+        assert Cell("no_such_kind", (("a", 1),)).label == "no_such_kind(a=1)"
+
+    def test_non_scalar_params_rejected(self):
+        with pytest.raises(TypeError, match="not a scalar"):
+            make_cell("echo_test", tag=["a", "list"])
+        with pytest.raises(TypeError, match="not a scalar"):
+            make_cell("echo_test", tag={"a": 1})
+
+    def test_scalars_of_every_kind_accepted(self):
+        cell = make_cell("echo_test", s="x", i=1, f=0.5, b=True, n=None)
+        assert "n=None" in cell.key
+
+    def test_unknown_kind_raises_with_registered_list(self):
+        with pytest.raises(KeyError, match="unknown cell kind"):
+            Runner().run([make_cell("no_such_kind")])
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_key_sensitive(self):
+        seed = derive_seed("pause(collector='g1')")
+        assert seed == derive_seed("pause(collector='g1')")
+        assert seed != derive_seed("pause(collector='cms')")
+        assert 0 <= seed < 1 << 64
+
+    def test_base_seed_changes_every_cell_seed(self):
+        key = echo("x").key
+        assert derive_seed(key, 42) != derive_seed(key, 43)
+        assert derive_seed(key) == derive_seed(key, DEFAULT_BASE_SEED)
+
+    def test_runner_seeds_cells_by_derivation(self):
+        runner = Runner(base_seed=7)
+        (result,) = runner.run([echo("seeded")])
+        assert result["seed"] == derive_seed(echo("seeded").key, 7)
+
+    def test_seed_scope_shares_seeds_across_treatments(self):
+        """Cells of one controlled comparison (same subject, different
+        treatment) replay the same seed; other subjects do not."""
+        runner = Runner()
+        a1, a2, b = runner.run(
+            [
+                make_cell("scoped_test", subject="a", treatment="g1"),
+                make_cell("scoped_test", subject="a", treatment="rolp"),
+                make_cell("scoped_test", subject="b", treatment="g1"),
+            ]
+        )
+        assert a1 == a2 != b
+        # the treatment-free scope, not the full key, feeds derivation
+        assert a1 == derive_seed("scoped_test(subject='a')")
+
+    def test_seed_scope_does_not_merge_cache_entries(self, tmp_path):
+        """Shared seeds must not alias cache entries: the cache key
+        still covers the full cell key."""
+        cache = ResultCache(str(tmp_path))
+        g1 = make_cell("scoped_test", subject="a", treatment="g1")
+        rolp = make_cell("scoped_test", subject="a", treatment="rolp")
+        runner = Runner(cache=cache)
+        runner.run([g1, rolp])
+        assert runner.stats.simulations == 2
+        seed = runner.seed_for(g1)
+        assert cache.path(g1, seed) != cache.path(rolp, seed)
+
+
+class TestMemoisation:
+    def test_duplicates_in_one_call_execute_once(self):
+        results = Runner().run([echo("dup"), echo("dup"), echo("other")])
+        assert _EXECUTED == ["dup", "other"]
+        assert results[0] is results[1]
+
+    def test_memo_spans_run_calls(self):
+        runner = Runner()
+        first = runner.run([echo("shared")])
+        second = runner.run([echo("shared"), echo("new")])
+        assert _EXECUTED == ["shared", "new"]
+        assert second[0] is first[0]
+        assert runner.stats.memo_hits == 1
+
+    def test_results_return_in_submission_order(self):
+        cells = [echo(tag) for tag in ("c", "a", "b")]
+        results = Runner().run(cells)
+        assert [r["tag"] for r in results] == ["c", "a", "b"]
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cell, seed = echo("rt"), 123
+        assert cache.load(cell, seed) == (False, None)
+        cache.store(cell, seed, {"answer": 42})
+        assert cache.load(cell, seed) == (True, {"answer": 42})
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cell, seed = echo("corrupt"), 1
+        cache.store(cell, seed, "ok")
+        with open(cache.path(cell, seed), "wb") as handle:
+            handle.write(b"\x00not a pickle")
+        hit, _ = cache.load(cell, seed)
+        assert not hit
+
+    def test_stale_key_material_is_a_miss(self, tmp_path):
+        """An entry written under other key material (e.g. an older
+        CACHE_VERSION) is rejected even when the file path collides."""
+        cache = ResultCache(str(tmp_path))
+        cell, seed = echo("stale"), 1
+        cache.store(cell, seed, "ok")
+        path = cache.path(cell, seed)
+        with open(path, "rb") as handle:
+            entry = pickle.load(handle)
+        entry["key_material"] = "rolp-bench-cache/v0\n" + cell.key
+        with open(path, "wb") as handle:
+            pickle.dump(entry, handle)
+        hit, _ = cache.load(cell, seed)
+        assert not hit
+
+    def test_scale_and_seed_partition_the_cache(self, tmp_path, monkeypatch):
+        cache = ResultCache(str(tmp_path))
+        cell = echo("scaled")
+        monkeypatch.setenv("ROLP_BENCH_SCALE", "0.05")
+        cache.store(cell, 1, "at 0.05")
+        monkeypatch.setenv("ROLP_BENCH_SCALE", "0.1")
+        hit, _ = cache.load(cell, 1)
+        assert not hit  # other scale
+        monkeypatch.setenv("ROLP_BENCH_SCALE", "0.05")
+        assert cache.load(cell, 1) == (True, "at 0.05")
+        hit, _ = cache.load(cell, 2)
+        assert not hit  # other seed
+
+    def test_runner_warm_cache_performs_zero_simulations(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cells = [echo("w1"), echo("w2")]
+        cold = Runner(cache=cache)
+        cold_results = cold.run(cells)
+        assert cold.stats.simulations == 2
+
+        del _EXECUTED[:]
+        warm = Runner(cache=cache)  # fresh memo, same disk cache
+        warm_results = warm.run(cells)
+        assert _EXECUTED == []
+        assert warm.stats.as_dict() | {"elapsed_s": 0} == {
+            "cells": 2,
+            "memo_hits": 0,
+            "cache_hits": 2,
+            "cache_misses": 0,
+            "simulations": 0,
+            "elapsed_s": 0,
+        }
+        assert warm_results == cold_results
+
+
+class TestPool:
+    def test_parallel_results_match_serial_in_order(self, tmp_path):
+        cells = [echo(tag, value=i) for i, tag in enumerate("abcd")]
+        serial = Runner().run(cells)
+        parallel = Runner(jobs=4).run(cells)
+        assert parallel == serial
+
+    def test_parallel_populates_the_shared_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cells = [echo("p1"), echo("p2")]
+        Runner(jobs=2, cache=cache).run(cells)
+        warm = Runner(cache=cache)
+        warm.run(cells)
+        assert warm.stats.cache_hits == 2
+        assert warm.stats.simulations == 0
+
+
+class TestTelemetryAndHelpers:
+    def test_counters_reach_the_session_metrics(self, tmp_path):
+        session = TelemetrySession()
+        runner = Runner(cache=ResultCache(str(tmp_path)), session=session)
+        runner.run([echo("t1"), echo("t2")])
+        runner.run([echo("t1")])  # memoised, no new counters
+        counters = session.metrics.counter
+        assert counters("bench_runner_cells").total() == 2
+        assert counters("bench_runner_simulations").total() == 2
+        assert counters("bench_runner_cache_misses").total() == 2
+        assert counters("bench_runner_cache_hits").total() == 0
+
+    def test_inline_runs_carry_per_cell_trace_tracks(self):
+        session = TelemetrySession()
+        Runner(session=session).run([echo("tracked")])
+        assert "echo/tracked" in session.sink.process_names.values()
+
+    def test_run_cells_uses_given_runner_else_throwaway(self):
+        runner = Runner()
+        run_cells([echo("via-runner")], runner=runner)
+        assert runner.stats.cells == 1
+        results = run_cells([echo("via-helper")])
+        assert results[0]["tag"] == "via-helper"
+
+    def test_progress_lines_go_to_stderr(self, capsys):
+        Runner(progress=True).run([echo("noisy")])
+        captured = capsys.readouterr()
+        assert "[runner] (1/1)" in captured.err
+        assert "echo/noisy" in captured.err
+        assert captured.out == ""

@@ -8,8 +8,11 @@ from repro.bench.cli import main
 
 
 @pytest.fixture(autouse=True)
-def tiny_scale(monkeypatch):
+def tiny_scale(monkeypatch, tmp_path):
     monkeypatch.setenv("ROLP_BENCH_SCALE", "0.02")
+    # every test gets a private (cold) result cache, so telemetry
+    # assertions always see fresh simulations and nothing touches cwd
+    monkeypatch.setenv("ROLP_BENCH_CACHE_DIR", str(tmp_path / "cell-cache"))
 
 
 class TestCli:

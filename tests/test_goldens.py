@@ -1,0 +1,55 @@
+"""Golden snapshot tests: canonical small-scale renderings of Table 1,
+Figure 6 and Figure 8 under the default seed at ``ROLP_BENCH_SCALE=0.05``.
+
+Any change to workload simulation, collector behaviour, seed derivation
+or the text renderers shows up here as a diff against the checked-in
+snapshot — deliberate changes are re-blessed with::
+
+    ROLP_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_goldens.py
+
+and the resulting ``tests/goldens/*.txt`` diffs reviewed like code.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.cli import main
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+#: restricted subsets keep each golden run in single-digit seconds while
+#: still covering one workload/benchmark of every simulator family used
+GOLDEN_RUNS = {
+    "table1": ["table1", "--workloads", "lucene", "graphchi-cc"],
+    "fig6": ["fig6", "--benchmarks", "avrora", "lusearch"],
+    "fig8": ["fig8", "--workloads", "graphchi-cc"],
+}
+
+
+@pytest.fixture(autouse=True)
+def golden_scale(monkeypatch):
+    monkeypatch.setenv("ROLP_BENCH_SCALE", "0.05")
+
+
+def check_golden(name, rendered):
+    path = GOLDEN_DIR / (name + ".txt")
+    if os.environ.get("ROLP_UPDATE_GOLDENS") == "1":
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(rendered)
+    assert path.exists(), (
+        "golden snapshot %s is missing; generate it with "
+        "ROLP_UPDATE_GOLDENS=1" % path
+    )
+    assert rendered == path.read_text(), (
+        "rendering of %s drifted from its golden snapshot; if the change "
+        "is deliberate, re-bless with ROLP_UPDATE_GOLDENS=1 and review "
+        "the diff" % name
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_RUNS))
+def test_rendering_matches_golden(name, capsys):
+    assert main(GOLDEN_RUNS[name] + ["--no-cache"]) == 0
+    check_golden(name, capsys.readouterr().out)

@@ -1,0 +1,135 @@
+"""Property-style tests for :mod:`repro.heap.header`: whole-header
+pack/unpack round-trips over randomized allocation-site / age / hash /
+bias bit patterns, and the biased-lock overwrite/corruption lifecycle.
+
+The per-field properties live in test_header.py; these tests exercise
+*composite* states — every field populated at once, arbitrary operation
+sequences, and the bias/revoke path the paper accepts as profiling
+information loss (Section 3.2.2).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heap import header as hdr
+
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+u25 = st.integers(min_value=0, max_value=(1 << 25) - 1)
+u32 = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+ages = st.integers(min_value=0, max_value=hdr.MAX_AGE)
+any_int = st.integers(min_value=-(1 << 70), max_value=1 << 70)
+
+
+def build_header(site, state, age, identity_hash):
+    header = hdr.fresh_header(hdr.pack_context(site, state))
+    header = hdr.set_age(header, age)
+    return hdr.set_identity_hash(header, identity_hash)
+
+
+class TestFullRoundTrip:
+    @given(site=u16, state=u16, age=ages, identity_hash=u25)
+    def test_all_fields_roundtrip_simultaneously(
+        self, site, state, age, identity_hash
+    ):
+        header = build_header(site, state, age, identity_hash)
+        context = hdr.extract_context(header)
+        assert hdr.context_site(context) == site
+        assert hdr.context_stack_state(context) == state
+        assert hdr.get_age(header) == age
+        assert hdr.get_identity_hash(header) == identity_hash
+        assert not hdr.is_biased_locked(header)
+
+    @given(site=u16, state=u16, age=ages, identity_hash=u25)
+    def test_header_stays_in_64_bits(self, site, state, age, identity_hash):
+        assert 0 <= build_header(site, state, age, identity_hash) <= hdr.MASK_64
+
+    @given(site=any_int, state=any_int)
+    def test_pack_context_masks_arbitrary_ints_to_16_bits(self, site, state):
+        context = hdr.pack_context(site, state)
+        assert 0 <= context <= hdr.MASK_32
+        assert hdr.context_site(context) == site & hdr.MASK_16
+        assert hdr.context_stack_state(context) == state & hdr.MASK_16
+
+    @given(
+        header=u64,
+        operations=st.lists(
+            st.one_of(
+                st.tuples(st.just("age"), ages),
+                st.tuples(st.just("hash"), u25),
+                st.tuples(st.just("context"), u32),
+                st.tuples(st.just("increment"), st.just(0)),
+            ),
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=50)
+    def test_operation_sequences_keep_fields_independent(self, header, operations):
+        """Whatever sequence of writes runs, each field reads back the
+        last value written to it, never a neighbour's bits."""
+        expected_age = hdr.get_age(header)
+        expected_hash = hdr.get_identity_hash(header)
+        expected_context = hdr.extract_context(header)
+        for op, value in operations:
+            if op == "age":
+                header = hdr.set_age(header, value)
+                expected_age = value
+            elif op == "hash":
+                header = hdr.set_identity_hash(header, value)
+                expected_hash = value
+            elif op == "context":
+                header = hdr.install_context(header, value)
+                expected_context = value
+            else:
+                header = hdr.increment_age(header)
+                expected_age = min(expected_age + 1, hdr.MAX_AGE)
+        assert hdr.get_age(header) == expected_age
+        assert hdr.get_identity_hash(header) == expected_hash
+        assert hdr.extract_context(header) == expected_context
+        assert 0 <= header <= hdr.MASK_64
+
+
+class TestBiasedLockCorruption:
+    @given(site=u16, state=u16, age=ages, identity_hash=u25, pointer=u64)
+    def test_bias_overwrites_context_and_preserves_the_rest(
+        self, site, state, age, identity_hash, pointer
+    ):
+        header = build_header(site, state, age, identity_hash)
+        biased = hdr.bias_lock(header, pointer)
+        assert hdr.is_biased_locked(biased)
+        # the owning thread's pointer lands where the context lived
+        assert hdr.extract_context(biased) == pointer & hdr.MASK_32
+        assert hdr.get_age(biased) == age
+        assert hdr.get_identity_hash(biased) == identity_hash
+        assert 0 <= biased <= hdr.MASK_64
+
+    @given(site=u16, state=u16, age=ages, identity_hash=u25, pointer=u64)
+    def test_revoke_leaves_context_corrupted(
+        self, site, state, age, identity_hash, pointer
+    ):
+        header = build_header(site, state, age, identity_hash)
+        revoked = hdr.revoke_bias(hdr.bias_lock(header, pointer))
+        assert not hdr.is_biased_locked(revoked)
+        # the stale pointer persists: the context only equals the
+        # original on an accidental collision (the paper's rare
+        # mistaken-reuse scenario)
+        assert hdr.extract_context(revoked) == pointer & hdr.MASK_32
+        original = hdr.pack_context(site, state)
+        if pointer & hdr.MASK_32 != original:
+            assert hdr.extract_context(revoked) != original
+        assert hdr.get_age(revoked) == age
+        assert hdr.get_identity_hash(revoked) == identity_hash
+
+    @given(header=u64, pointer=u64)
+    def test_bias_revoke_touches_only_context_and_bias_bit(self, header, pointer):
+        after = hdr.revoke_bias(hdr.bias_lock(header, pointer))
+        untouched = hdr.MASK_64 & ~(hdr.CONTEXT_MASK | hdr.BIASED_MASK)
+        assert after & untouched == header & untouched
+
+    @given(header=u64)
+    def test_context_survives_iff_never_biased(self, header):
+        """The profiler's validity rule: an unbiased header's context is
+        trustworthy; aging and hashing never corrupt it."""
+        context = hdr.extract_context(header)
+        aged = hdr.increment_age(hdr.set_identity_hash(header, 0x155_5555))
+        assert hdr.extract_context(aged) == context
