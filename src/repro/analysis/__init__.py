@@ -1,0 +1,48 @@
+"""Invariant sanitizer suite for the ROLP simulator.
+
+Three cooperating passes (see ``docs/verification.md``):
+
+* :class:`HeapVerifier` — full-heap walker checking region accounting,
+  header consistency and generational placement at GC boundaries.
+* :class:`LockDisciplineChecker` — vector-clock happens-before checker
+  for biased-lock acquisition/revocation ordering and illegal header
+  overwrites.
+* :mod:`repro.analysis.lint` — the ``rolp-lint`` determinism lint over
+  the source tree (imported explicitly; not re-exported here to keep
+  the runtime import path lean).
+
+Verification defaults off via :data:`NULL_VERIFIER`; enable it with
+``VMFlags(verify_level=...)`` or ``rolp-bench --verify``.
+"""
+
+from repro.analysis.heap_verifier import HeapVerifier
+from repro.analysis.lock_checker import LockDisciplineChecker
+from repro.analysis.suite import (
+    NULL_VERIFIER,
+    VERIFY_FULL,
+    VERIFY_HEAP,
+    VERIFY_LEVELS,
+    VERIFY_OFF,
+    NullVerifier,
+    VerifierSuite,
+    default_verify_level,
+    make_verifier,
+    set_default_verify_level,
+)
+from repro.analysis.violations import InvariantViolation
+
+__all__ = [
+    "HeapVerifier",
+    "InvariantViolation",
+    "LockDisciplineChecker",
+    "NULL_VERIFIER",
+    "NullVerifier",
+    "VERIFY_FULL",
+    "VERIFY_HEAP",
+    "VERIFY_LEVELS",
+    "VERIFY_OFF",
+    "VerifierSuite",
+    "default_verify_level",
+    "make_verifier",
+    "set_default_verify_level",
+]

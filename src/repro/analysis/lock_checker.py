@@ -1,0 +1,190 @@
+"""Happens-before checker for biased-lock discipline.
+
+HotSpot's biased locking only stays correct because revocation happens
+at a safepoint: the revoking thread cannot race a re-bias by another
+thread, and profiling code must never write the upper header bits of an
+object that is currently bias-locked (the paper's Section 3.2.2 hazard
+— ROLP deliberately *loses* the context instead of corrupting the lock
+word).
+
+This checker replays the simulator's lock events against a vector-clock
+happens-before order.  Each simulated thread is one clock actor; the VM
+itself (revocations with no initiating thread, safepoints) acts as a
+pseudo-actor.  Safepoints join every clock, which is exactly the
+ordering guarantee HotSpot's safepoint protocol provides.  Violations:
+
+``lock/double-bias``
+    biasing an object that is already bias-locked (the fast path must
+    revoke first).
+``lock/revoke-unbiased``
+    revoking an object that holds no bias — an out-of-order revocation.
+``lock/unordered-rebias``
+    re-biasing by a thread that is not ordered after the previous
+    revocation (no intervening safepoint): a lock-word data race.
+``lock/header-mismatch``
+    the manager's record and the header's biased bit disagree at an
+    event boundary.
+``lock/context-overwrite``
+    profiling code installing an allocation context over a live biased
+    lock word.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.violations import InvariantViolation
+from repro.heap import header as hdr
+from repro.telemetry import NULL_TELEMETRY
+
+#: Pseudo thread id for VM-initiated events (safepoints, unsolicited
+#: revocations).  Real threads start at id 1.
+VM_ACTOR = 0
+
+VectorClock = Dict[int, int]
+
+
+def _happens_before(earlier: VectorClock, later: VectorClock) -> bool:
+    """True when ``earlier`` ≤ ``later`` componentwise."""
+    return all(later.get(actor, 0) >= tick for actor, tick in earlier.items())
+
+
+class LockDisciplineChecker:
+    """Vector-clock validator for biased-lock event ordering."""
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.safepoints = 0
+        self.violations = 0
+        self._clocks: Dict[int, VectorClock] = {VM_ACTOR: {}}
+        #: id(obj) -> (obj, owner thread id) while bias-locked
+        self._biased: Dict[int, Tuple[object, int]] = {}
+        #: id(obj) -> (obj, revoker actor, clock snapshot at revocation)
+        self._revoked: Dict[int, Tuple[object, int, VectorClock]] = {}
+        self.bind_telemetry(NULL_TELEMETRY)
+
+    def bind_telemetry(self, telemetry) -> None:
+        self._m_events = telemetry.metrics.counter(
+            "verify_lock_events_total", "Lock events replayed by the discipline checker"
+        )
+        self._m_violations = telemetry.metrics.counter(
+            "verify_violations_total", "Invariant violations detected, by rule"
+        )
+
+    # -- clock plumbing -------------------------------------------------------
+
+    def _tick(self, actor: int) -> VectorClock:
+        clock = self._clocks.setdefault(actor, {})
+        clock[actor] = clock.get(actor, 0) + 1
+        self.events += 1
+        self._m_events.inc()
+        return clock
+
+    def _fail(self, rule: str, message: str, **details: object) -> None:
+        self.violations += 1
+        self._m_violations.inc(1, rule=rule)
+        raise InvariantViolation(rule, message, **details)
+
+    @staticmethod
+    def _actor(thread) -> int:
+        return VM_ACTOR if thread is None else thread.thread_id
+
+    # -- events ---------------------------------------------------------------
+
+    def on_bias_lock(self, thread, obj) -> None:
+        """A thread is about to bias-lock ``obj`` (pre-state check)."""
+        actor = self._actor(thread)
+        clock = self._tick(actor)
+        key = id(obj)
+        held = self._biased.get(key)
+        if held is not None and held[0] is obj:
+            self._fail(
+                "lock/double-bias",
+                "bias acquired on an object that is already bias-locked",
+                thread=actor,
+                owner=held[1],
+                context=hdr.extract_context(obj.header),
+            )
+        if hdr.is_biased_locked(obj.header):
+            # Bit set with no record: someone wrote the header directly.
+            self._fail(
+                "lock/header-mismatch",
+                "header carries a biased bit the lock manager never granted",
+                thread=actor,
+                context=hdr.extract_context(obj.header),
+            )
+        revoked = self._revoked.pop(key, None)
+        if revoked is not None and revoked[0] is obj:
+            _, revoker, snapshot = revoked
+            if not _happens_before(snapshot, clock):
+                self._fail(
+                    "lock/unordered-rebias",
+                    "re-bias is not ordered after the previous revocation "
+                    "(no safepoint between revoke and re-acquire)",
+                    thread=actor,
+                    revoker=revoker,
+                    context=hdr.extract_context(obj.header),
+                )
+        self._biased[key] = (obj, actor)
+
+    def on_bias_revoke(self, obj, thread=None) -> None:
+        """Bias on ``obj`` is about to be revoked (pre-state check)."""
+        actor = self._actor(thread)
+        clock = self._tick(actor)
+        key = id(obj)
+        held = self._biased.pop(key, None)
+        if held is None or held[0] is not obj:
+            self._fail(
+                "lock/revoke-unbiased",
+                "revocation of an object that holds no bias (out-of-order revoke)",
+                thread=actor,
+                context=hdr.extract_context(obj.header),
+            )
+        if not hdr.is_biased_locked(obj.header):
+            self._fail(
+                "lock/header-mismatch",
+                "lock manager holds a bias the header's biased bit does not show",
+                thread=actor,
+                owner=held[1],
+                context=hdr.extract_context(obj.header),
+            )
+        self._revoked[key] = (obj, actor, dict(clock))
+
+    def on_context_install(self, thread, obj, context: int) -> None:
+        """Profiling code is about to write the upper header bits."""
+        actor = self._actor(thread)
+        self._tick(actor)
+        key = id(obj)
+        held = self._biased.get(key)
+        if (held is not None and held[0] is obj) or hdr.is_biased_locked(obj.header):
+            self._fail(
+                "lock/context-overwrite",
+                "allocation-context write would corrupt a live biased lock word",
+                thread=actor,
+                owner=held[1] if held else None,
+                new_context=context,
+                context=hdr.extract_context(obj.header),
+            )
+
+    def at_safepoint(self, threads=()) -> None:
+        """Join every actor's clock (the safepoint global ordering)."""
+        self.safepoints += 1
+        for thread in threads:
+            self._clocks.setdefault(self._actor(thread), {})
+        joined: VectorClock = {}
+        for clock in self._clocks.values():
+            for actor, tick in clock.items():
+                if tick > joined.get(actor, 0):
+                    joined[actor] = tick
+        joined[VM_ACTOR] = joined.get(VM_ACTOR, 0) + 1
+        for actor in self._clocks:
+            self._clocks[actor] = dict(joined)
+
+    # -- introspection --------------------------------------------------------
+
+    def biased_count(self) -> int:
+        return len(self._biased)
+
+    def owner_of(self, obj) -> Optional[int]:
+        held = self._biased.get(id(obj))
+        return held[1] if held is not None and held[0] is obj else None

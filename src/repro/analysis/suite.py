@@ -1,0 +1,176 @@
+"""Verifier suite wiring: levels, null hooks, and the ambient default.
+
+Mirrors the telemetry layer's null-object pattern: a VM built without
+verification gets :data:`NULL_VERIFIER`, whose ``enabled`` flag lets hot
+paths skip the hook with a single attribute read, so the default
+configuration pays nothing and produces byte-identical results.
+
+Levels (``VMFlags.verify_level`` / ``rolp-bench --verify``):
+
+* ``VERIFY_OFF`` (0) — null hooks, no checking.
+* ``VERIFY_HEAP`` (1) — :class:`HeapVerifier` walks the heap before and
+  after every GC cycle (HotSpot's ``VerifyBeforeGC``/``VerifyAfterGC``).
+* ``VERIFY_FULL`` (2) — additionally replays biased-lock events through
+  the :class:`LockDisciplineChecker` and validates profiling writes to
+  the header context bits.
+
+The *ambient* default level exists for the bench runner: worker
+processes and nested VM constructions (workloads, DaCapo runs, ablation
+replays) pick it up without threading a flag through every call site —
+and, crucially, without changing cell keys or derived seeds, which keeps
+verified results comparable with the unverified goldens.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.heap_verifier import HeapVerifier
+from repro.analysis.lock_checker import LockDisciplineChecker
+
+VERIFY_OFF = 0
+VERIFY_HEAP = 1
+VERIFY_FULL = 2
+VERIFY_LEVELS = (VERIFY_OFF, VERIFY_HEAP, VERIFY_FULL)
+
+
+class NullVerifier:
+    """Zero-cost stand-in when verification is off.
+
+    Every hook is a no-op; ``enabled`` is False so hot paths can guard
+    with one attribute read, exactly like :data:`NULL_TELEMETRY`.
+    """
+
+    enabled = False
+    level = VERIFY_OFF
+    checks_run = 0
+
+    def bind(self, vm) -> None:
+        pass
+
+    def bind_telemetry(self, telemetry) -> None:
+        pass
+
+    def at_gc_start(self, collector) -> None:
+        pass
+
+    def at_gc_end(self, collector) -> None:
+        pass
+
+    def at_safepoint(self, vm) -> None:
+        pass
+
+    def on_bias_lock(self, thread, obj) -> None:
+        pass
+
+    def on_bias_revoke(self, obj, thread=None) -> None:
+        pass
+
+    def on_context_install(self, thread, obj, context) -> None:
+        pass
+
+    def verify_heap(self, collector, phase: str = "manual") -> int:
+        return 0
+
+
+#: Shared no-op verifier (stateless, safe to share between VMs).
+NULL_VERIFIER = NullVerifier()
+
+
+class VerifierSuite:
+    """The enabled verifier: heap walker plus optional lock checker."""
+
+    enabled = True
+
+    def __init__(self, level: int = VERIFY_HEAP) -> None:
+        if level not in VERIFY_LEVELS or level == VERIFY_OFF:
+            raise ValueError(
+                "verify level must be one of %s (got %r)"
+                % (VERIFY_LEVELS[1:], level)
+            )
+        self.level = level
+        self.heap = HeapVerifier()
+        self.locks = LockDisciplineChecker() if level >= VERIFY_FULL else None
+
+    @property
+    def checks_run(self) -> int:
+        checks = self.heap.checks_run
+        if self.locks is not None:
+            checks += self.locks.events
+        return checks
+
+    @property
+    def violations(self) -> int:
+        found = self.heap.violations
+        if self.locks is not None:
+            found += self.locks.violations
+        return found
+
+    # -- wiring ----------------------------------------------------------------
+
+    def bind(self, vm) -> None:
+        self.bind_telemetry(vm.telemetry)
+
+    def bind_telemetry(self, telemetry) -> None:
+        self.heap.bind_telemetry(telemetry)
+        if self.locks is not None:
+            self.locks.bind_telemetry(telemetry)
+
+    # -- GC/safepoint hooks ------------------------------------------------------
+
+    def verify_heap(self, collector, phase: str = "manual") -> int:
+        biased = collector.vm.biased_locks if collector.vm is not None else None
+        return self.heap.verify(
+            collector.heap, collector=collector, biased=biased, phase=phase
+        )
+
+    def at_gc_start(self, collector) -> None:
+        self.verify_heap(collector, phase="before-gc")
+
+    def at_gc_end(self, collector) -> None:
+        self.verify_heap(collector, phase="after-gc")
+
+    def at_safepoint(self, vm) -> None:
+        if self.locks is not None:
+            self.locks.at_safepoint(vm.threads)
+
+    # -- lock-event hooks ---------------------------------------------------------
+
+    def on_bias_lock(self, thread, obj) -> None:
+        if self.locks is not None:
+            self.locks.on_bias_lock(thread, obj)
+
+    def on_bias_revoke(self, obj, thread=None) -> None:
+        if self.locks is not None:
+            self.locks.on_bias_revoke(obj, thread)
+
+    def on_context_install(self, thread, obj, context) -> None:
+        if self.locks is not None:
+            self.locks.on_context_install(thread, obj, context)
+
+
+def make_verifier(level: int):
+    """Build the verifier for a VM: the null hook at level 0."""
+    if not level:
+        return NULL_VERIFIER
+    return VerifierSuite(level)
+
+
+_default_level = VERIFY_OFF
+
+
+def default_verify_level() -> int:
+    """Process-wide verify level applied when ``VMFlags.verify_level``
+    is left unset (``None``)."""
+    return _default_level
+
+
+def set_default_verify_level(level: int) -> int:
+    """Set the ambient verify level; returns the previous one so
+    callers (the bench CLI, tests) can restore it."""
+    global _default_level
+    if level not in VERIFY_LEVELS:
+        raise ValueError(
+            "verify level must be one of %s (got %r)" % (VERIFY_LEVELS, level)
+        )
+    previous = _default_level
+    _default_level = level
+    return previous

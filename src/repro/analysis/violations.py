@@ -1,0 +1,68 @@
+"""Structured invariant-violation errors raised by the sanitizer suite.
+
+Every checker in :mod:`repro.analysis` reports corruption through one
+exception type so callers (the bench CLI, tests, CI) can catch it at a
+single point and always get the same shape: a rule identifier plus the
+identifiers of the offending entities — region index, allocation
+context, thread id — so a violation deep inside a bench grid pinpoints
+its culprit without a debugger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class InvariantViolation(Exception):
+    """A runtime invariant check found corrupted simulator state.
+
+    Parameters
+    ----------
+    rule:
+        Stable rule identifier, e.g. ``"heap/region-used"`` or
+        ``"lock/double-bias"``.
+    message:
+        Human-readable description of what broke.
+    details:
+        Identifying key/value pairs (``region=3``, ``thread=2``,
+        ``context=0x12340001``, ...) naming the corrupted entities.
+    """
+
+    def __init__(self, rule: str, message: str, **details: object) -> None:
+        self.rule = rule
+        self.message = message
+        self.details: Dict[str, object] = dict(details)
+        super().__init__(self.format())
+
+    def format(self) -> str:
+        if not self.details:
+            return "[%s] %s" % (self.rule, self.message)
+        ids = ", ".join(
+            "%s=%s" % (key, _render(value))
+            for key, value in sorted(self.details.items())
+        )
+        return "[%s] %s (%s)" % (self.rule, self.message, ids)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Machine-readable form (for JSON artifacts and tests)."""
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+    def __reduce__(self):
+        # Keyword-only details break default exception pickling; worker
+        # processes must be able to ship violations back to the parent.
+        return (_rebuild, (self.rule, self.message, self.details))
+
+
+def _rebuild(rule: str, message: str, details: Dict[str, object]) -> InvariantViolation:
+    return InvariantViolation(rule, message, **details)
+
+
+def _render(value: object) -> str:
+    """Hex-render header/context values, repr everything else."""
+    if isinstance(value, int) and not isinstance(value, bool) and value > 0xFFFF:
+        return "0x%x" % value
+    return repr(value)

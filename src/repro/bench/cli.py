@@ -31,6 +31,16 @@ writes one JSON document with the experiment payloads plus the full
 metrics-registry dump; ``--json-dir`` writes one JSON file per
 experiment.  Per-run trace tracks are recorded on the serial path only
 (``--jobs 1``); cached cells record no new events.
+
+Invariant verification (see docs/verification.md)::
+
+    rolp-bench fig6 --verify              # full checking (level 2)
+    rolp-bench table1 --verify 1          # heap walks only
+
+``--verify`` runs the sanitizer suite inside every simulation; a
+violation aborts with exit status 3 and a structured error naming the
+broken rule and the offending region/object/thread.  Verified and
+unverified runs never share cache entries.
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ import sys
 from typing import Dict, List, Optional
 
 from repro import COLLECTOR_NAMES
+from repro.analysis import InvariantViolation, set_default_verify_level
 from repro.bench import ablations, artifacts, figures, tables
 from repro.bench.config import bench_scale
 from repro.bench.runner import (
@@ -201,6 +212,69 @@ def render_trace_summary(rows: List[Dict[str, object]]) -> str:
     )
 
 
+def _run_experiments(
+    todo: List[str],
+    runner: Runner,
+    session: Optional[TelemetrySession],
+    payloads: Dict[str, object],
+    workloads: Optional[List[str]],
+    collectors: Optional[List[str]],
+    specs,
+) -> None:
+    """Run each experiment in ``todo``, printing its rendering and
+    filling ``payloads`` (split out of :func:`main` so the verification
+    scope wraps exactly the simulations)."""
+    pause_studies = None  # memoized: fig8 and fig9 share the same runs
+    for experiment in todo:
+        print("=" * 72)
+        if experiment == "table1":
+            rows = tables.table1(workloads, session=session, runner=runner)
+            payloads["table1"] = artifacts.table1_payload(rows)
+            print("[Table 1] Big Data benchmark profiling summary")
+            print(tables.render_table1(rows))
+        elif experiment == "table2":
+            rows = tables.table2(specs, session=session, runner=runner)
+            payloads["table2"] = artifacts.table2_payload(rows)
+            print("[Table 2] DaCapo profiling and conflicts")
+            print(tables.render_table2(rows))
+        elif experiment == "fig6":
+            series = figures.figure6(specs, session=session, runner=runner)
+            payloads["fig6"] = artifacts.figure6_payload(series)
+            print("[Figure 6] DaCapo execution time normalized to G1")
+            print(figures.render_figure6(series))
+        elif experiment == "fig7":
+            series = figures.figure7(specs, session=session, runner=runner)
+            payloads["fig7"] = artifacts.figure7_payload(series)
+            print("[Figure 7] Worst-case conflict resolution time (ms)")
+            print(figures.render_figure7(series))
+        elif experiment in ("fig8", "fig9"):
+            if pause_studies is None:
+                pause_studies = figures.pause_study(
+                    workloads, session=session, runner=runner
+                )
+            payloads[experiment] = artifacts.pause_study_payload(pause_studies)
+            if experiment == "fig8":
+                print(figures.render_figure8(pause_studies))
+            else:
+                print(figures.render_figure9(pause_studies))
+        elif experiment == "fig10":
+            study = figures.figure10(session=session, runner=runner)
+            payloads["fig10"] = artifacts.figure10_payload(study)
+            print(figures.render_figure10(study))
+        elif experiment == "ablations":
+            ablation_payloads: Dict[str, object] = {}
+            for key, run, title in ABLATIONS:
+                results = run(runner=runner)
+                ablation_payloads[key] = artifacts.ablation_payload(results)
+                print(ablations.render_ablation(results, title))
+            payloads["ablations"] = ablation_payloads
+        elif experiment == "trace":
+            rows = _trace_experiment(workloads, collectors, session, runner=runner)
+            payloads["trace"] = artifacts.trace_payload(rows)
+            print("[Trace] per-run summary (full trace via --trace-out)")
+            print(render_trace_summary(rows))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="rolp-bench",
@@ -271,6 +345,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(cell key, base seed) (default: %d)" % DEFAULT_BASE_SEED,
     )
     parser.add_argument(
+        "--verify",
+        nargs="?",
+        const=2,
+        default=0,
+        type=int,
+        choices=(0, 1, 2),
+        help="run invariant verification inside every simulation: 1 walks "
+        "the heap at GC boundaries, 2 adds the biased-lock discipline "
+        "checker (bare --verify means 2); a violation exits with status 3",
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="PATH",
         help="write a Chrome trace_event JSON covering every run",
@@ -328,7 +413,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     payloads: Dict[str, object] = {}
-    pause_studies = None  # memoized: fig8 and fig9 share the same runs
 
     try:
         specs = _specs(args.benchmarks)
@@ -338,54 +422,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("rolp-bench: %s" % exc, file=sys.stderr)
         return 2
 
-    for experiment in todo:
-        print("=" * 72)
-        if experiment == "table1":
-            rows = tables.table1(workloads, session=session, runner=runner)
-            payloads["table1"] = artifacts.table1_payload(rows)
-            print("[Table 1] Big Data benchmark profiling summary")
-            print(tables.render_table1(rows))
-        elif experiment == "table2":
-            rows = tables.table2(specs, session=session, runner=runner)
-            payloads["table2"] = artifacts.table2_payload(rows)
-            print("[Table 2] DaCapo profiling and conflicts")
-            print(tables.render_table2(rows))
-        elif experiment == "fig6":
-            series = figures.figure6(specs, session=session, runner=runner)
-            payloads["fig6"] = artifacts.figure6_payload(series)
-            print("[Figure 6] DaCapo execution time normalized to G1")
-            print(figures.render_figure6(series))
-        elif experiment == "fig7":
-            series = figures.figure7(specs, session=session, runner=runner)
-            payloads["fig7"] = artifacts.figure7_payload(series)
-            print("[Figure 7] Worst-case conflict resolution time (ms)")
-            print(figures.render_figure7(series))
-        elif experiment in ("fig8", "fig9"):
-            if pause_studies is None:
-                pause_studies = figures.pause_study(
-                    workloads, session=session, runner=runner
-                )
-            payloads[experiment] = artifacts.pause_study_payload(pause_studies)
-            if experiment == "fig8":
-                print(figures.render_figure8(pause_studies))
-            else:
-                print(figures.render_figure9(pause_studies))
-        elif experiment == "fig10":
-            study = figures.figure10(session=session, runner=runner)
-            payloads["fig10"] = artifacts.figure10_payload(study)
-            print(figures.render_figure10(study))
-        elif experiment == "ablations":
-            ablation_payloads: Dict[str, object] = {}
-            for key, run, title in ABLATIONS:
-                results = run(runner=runner)
-                ablation_payloads[key] = artifacts.ablation_payload(results)
-                print(ablations.render_ablation(results, title))
-            payloads["ablations"] = ablation_payloads
-        elif experiment == "trace":
-            rows = _trace_experiment(workloads, collectors, session, runner=runner)
-            payloads["trace"] = artifacts.trace_payload(rows)
-            print("[Trace] per-run summary (full trace via --trace-out)")
-            print(render_trace_summary(rows))
+    # Ambient rather than per-cell so cell keys and derived seeds stay
+    # identical to unverified runs (results remain comparable with the
+    # goldens); the cache still separates on it via key_material.
+    previous_verify = set_default_verify_level(args.verify)
+    try:
+        _run_experiments(
+            todo, runner, session, payloads, workloads, collectors, specs
+        )
+    except InvariantViolation as exc:
+        print("rolp-bench: invariant violation: %s" % exc, file=sys.stderr)
+        return 3
+    finally:
+        set_default_verify_level(previous_verify)
+
+    if args.verify:
+        print(
+            "[verify] level %d: all invariant checks passed (0 violations)"
+            % args.verify,
+            file=sys.stderr,
+        )
 
     stats = runner.stats
     print(

@@ -36,14 +36,15 @@ import os
 import pickle
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis import default_verify_level, set_default_verify_level
 from repro.bench.config import bench_scale
 
 #: bump when a cell implementation changes meaning — invalidates every
 #: cached result produced by older code
-CACHE_VERSION = "rolp-bench-cache/v1"
+CACHE_VERSION = "rolp-bench-cache/v2"
 
 #: default base seed; per-cell seeds are derived from it, never used raw
 DEFAULT_BASE_SEED = 42
@@ -180,9 +181,15 @@ def _execute(cell: Cell, seed: int, telemetry=None):
     return fn(seed=seed, telemetry=telemetry, **dict(cell.params))
 
 
-def _pool_execute(payload: Tuple[Cell, int]):
-    """Worker-side entry point (module-level so it pickles)."""
-    cell, seed = payload
+def _pool_execute(payload: Tuple[Cell, int, int]):
+    """Worker-side entry point (module-level so it pickles).
+
+    Carries the ambient verify level explicitly: fork workers inherit
+    it, but spawn workers start from a fresh interpreter where the
+    default would silently revert to off.
+    """
+    cell, seed, verify_level = payload
+    set_default_verify_level(verify_level)
     return _execute(cell, seed, telemetry=None)
 
 
@@ -203,12 +210,18 @@ class ResultCache:
         self.directory = directory
 
     def key_material(self, cell: Cell, seed: int) -> str:
+        # The verify level is ambient rather than a cell param (so cell
+        # keys and derived seeds stay comparable with the unverified
+        # goldens), but verified and unverified runs must never share
+        # cache entries — a verified run that hit an unverified entry
+        # would claim checks it never performed.
         return "\n".join(
             (
                 CACHE_VERSION,
                 cell.key,
                 "seed=%d" % seed,
                 "scale=%r" % bench_scale(),
+                "verify=%d" % default_verify_level(),
             )
         )
 
@@ -384,7 +397,9 @@ class Runner:
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
-        payloads = [(cell, self.seed_for(cell)) for cell in cells]
+        payloads = [
+            (cell, self.seed_for(cell), default_verify_level()) for cell in cells
+        ]
         total = len(cells)
         with context.Pool(processes=min(self.jobs, len(cells))) as pool:
             started = time.time()

@@ -23,6 +23,9 @@ class CMSCollector(GenerationalCollector):
     """Copying young gen + concurrent, non-moving old gen."""
 
     name = "cms"
+    #: the concurrent sweep frees objects without moving the rest, so a
+    #: region's used bytes legitimately exceed its live object bytes
+    in_place_old_sweep = True
 
     def __init__(
         self,
@@ -55,6 +58,8 @@ class CMSCollector(GenerationalCollector):
 
     def _concurrent_cycle(self) -> None:
         """Concurrent mark + sweep with two short auxiliary pauses."""
+        if self.verifier.enabled:
+            self.verifier.at_gc_start(self)
         now = self.clock.now_ns
         self.concurrent_cycles += 1
 
@@ -92,6 +97,11 @@ class CMSCollector(GenerationalCollector):
                 # Non-moving: 'used' stays (the space is fragmented); we
                 # track it as waste that only a full compaction recovers.
                 self.wasted_bytes += freed
+        # The sweep ends no cycle (auxiliary pauses only), so run the
+        # after-GC walk explicitly — it is the only point that sees the
+        # freshly swept in-place waste.
+        if self.verifier.enabled:
+            self.verifier.at_gc_end(self)
 
     def _old_waste_fraction(self) -> float:
         old_bytes = sum(r.used for r in self.heap.regions_in(Space.OLD))
@@ -107,6 +117,8 @@ class CMSCollector(GenerationalCollector):
         Single-threaded in classic CMS — the copy cost does not get the
         parallel speedup, which is what makes these pauses so long.
         """
+        if self.verifier.enabled:
+            self.verifier.at_gc_start(self)
         now = self.clock.now_ns
         old_regions = [r for r in self.heap.regions_in(Space.OLD) if r.used > 0]
         if not old_regions:

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
 
+from repro.analysis import NULL_VERIFIER
 from repro.heap.bandwidth import BandwidthModel
-from repro.heap.heap import OutOfMemoryError, RegionHeap
+from repro.heap.heap import RegionHeap, SimOutOfMemoryError
 from repro.heap.object_model import IMMORTAL, SimObject
 from repro.heap.region import Space
 from repro.runtime.clock import SimClock
@@ -50,6 +51,11 @@ class Collector:
     name = "base"
     #: multiplier on mutator work (read/write-barrier tax; >1 for ZGC)
     mutator_overhead_factor = 1.0
+    #: capability flags the heap verifier keys its rules on
+    #: (see repro.analysis.heap_verifier)
+    ages_on_copy = False
+    in_place_old_sweep = False
+    supports_dynamic_gens = False
 
     def __init__(
         self,
@@ -67,12 +73,14 @@ class Collector:
         self.objects_promoted = 0
         #: total bytes allocated through this collector
         self.bytes_allocated = 0
+        self.verifier = NULL_VERIFIER
         self.bind_telemetry(NULL_TELEMETRY)
 
     # -- wiring ---------------------------------------------------------------
 
     def attach_vm(self, vm: "JavaVM") -> None:
         self.vm = vm
+        self.verifier = vm.verifier
         self.bind_telemetry(vm.telemetry)
 
     def bind_telemetry(self, telemetry) -> None:
@@ -115,7 +123,7 @@ class Collector:
         space, gen = self._placement(obj, context, gen_hint)
         try:
             self.heap.allocate(obj, space, gen)
-        except OutOfMemoryError:
+        except SimOutOfMemoryError:
             self.collect_full("allocation-failure")
             self.heap.allocate(obj, space, gen)  # raises again if truly full
         return obj
@@ -184,6 +192,8 @@ class Collector:
         self.profiler.on_gc_end(self.gc_cycles, self.clock.now_ns, pause_ns)
         if self.vm is not None:
             self.vm.at_safepoint()
+        if self.verifier.enabled:
+            self.verifier.at_gc_end(self)
 
     # -- statistics --------------------------------------------------------------------
 

@@ -123,6 +123,8 @@ class G1Collector(GenerationalCollector):
 
     def collect_full(self, reason: str) -> None:
         """Evacuation failure fallback: compact the entire old space."""
+        if self.verifier.enabled:
+            self.verifier.at_gc_start(self)
         now = self.clock.now_ns
         old_regions = [r for r in self.heap.regions_in(Space.OLD) if r.used > 0]
         tracking = self.profiler.survivor_tracking_enabled()

@@ -33,6 +33,9 @@ class GenerationalCollector(Collector):
     """
 
     name = "generational"
+    #: copying collectors age survivors on every copy, so the verifier
+    #: may require age == min(copies, MAX_AGE)
+    ages_on_copy = True
 
     def __init__(
         self,
@@ -65,6 +68,8 @@ class GenerationalCollector(Collector):
 
     def collect_young(self) -> None:
         """Stop-the-world evacuation of eden + survivor regions."""
+        if self.verifier.enabled:
+            self.verifier.at_gc_start(self)
         now = self.clock.now_ns
         sources: List[Region] = self.heap.regions_in(Space.EDEN) + self.heap.regions_in(
             Space.SURVIVOR

@@ -36,6 +36,8 @@ class NG2CCollector(G1Collector):
     """G1 + 16 allocation spaces (young, 14 dynamic gens, old)."""
 
     name = "ng2c"
+    #: regions may carry NG2C's dynamic generations 1..14
+    supports_dynamic_gens = True
 
     def __init__(
         self,
@@ -165,6 +167,8 @@ class NG2CCollector(G1Collector):
 
     def collect_full(self, reason: str) -> None:
         """Fallback compaction covers old + all dynamic generations."""
+        if self.verifier.enabled:
+            self.verifier.at_gc_start(self)
         now = self.clock.now_ns
         tracking = self.profiler.survivor_tracking_enabled()
         bytes_copied = 0

@@ -80,6 +80,8 @@ class ZGCCollector(Collector):
     # -- concurrent cycle --------------------------------------------------------------
 
     def _concurrent_cycle(self) -> None:
+        if self.verifier.enabled:
+            self.verifier.at_gc_start(self)
         now = self.clock.now_ns
         self.concurrent_cycles += 1
         self._bytes_at_last_cycle = self.bytes_allocated

@@ -10,7 +10,12 @@ from repro.heap.fragmentation import (
     guilty_contexts,
     space_fragmentation,
 )
-from repro.heap.heap import OutOfMemoryError, RegionHeap
+# OutOfMemoryError is the deprecated alias of SimOutOfMemoryError.
+from repro.heap.heap import (  # rolp-lint: allow[builtin-shadowing]
+    OutOfMemoryError,
+    RegionHeap,
+    SimOutOfMemoryError,
+)
 from repro.heap.object_model import IMMORTAL, SimObject
 from repro.heap.region import DEFAULT_REGION_BYTES, Region, Space
 
@@ -22,6 +27,7 @@ __all__ = [
     "Region",
     "RegionHeap",
     "SimObject",
+    "SimOutOfMemoryError",
     "Space",
     "fragmented_regions",
     "guilty_contexts",

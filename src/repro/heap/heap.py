@@ -15,8 +15,18 @@ from repro.heap.object_model import SimObject
 from repro.heap.region import DEFAULT_REGION_BYTES, Region, Space
 
 
-class OutOfMemoryError(MemoryError):
-    """Raised when no free region can satisfy an allocation."""
+class SimOutOfMemoryError(MemoryError):
+    """Raised when no free region can satisfy an allocation.
+
+    Subclasses :class:`MemoryError` so generic handlers still work, but
+    the prefixed name keeps simulated-heap exhaustion visually distinct
+    from the interpreter's own memory errors at ``except`` sites.
+    """
+
+
+#: Deprecated pre-rename spelling; the bare JVM name shadows the
+#: semantics of the ``MemoryError`` builtin at import sites.
+OutOfMemoryError = SimOutOfMemoryError  # rolp-lint: allow[builtin-shadowing]
 
 
 class RegionHeap:
@@ -78,12 +88,22 @@ class RegionHeap:
         """Committed fraction of total heap capacity."""
         return self.committed_bytes / self.capacity_bytes
 
+    # -- verifier views (read-only snapshots of internal state) --------------
+
+    def free_list(self) -> Tuple[Region, ...]:
+        """Snapshot of the free list, in pop order (for the verifier)."""
+        return tuple(self._free)
+
+    def alloc_region_map(self) -> Dict[Tuple[Space, int], Region]:
+        """Snapshot of the per-(space, gen) bump-allocation cache."""
+        return dict(self._alloc_region)
+
     # -- region lifecycle ----------------------------------------------------
 
     def claim_region(self, space: Space, gen: int = 0) -> Region:
         """Take a region off the free list for ``space``."""
         if not self._free:
-            raise OutOfMemoryError(
+            raise SimOutOfMemoryError(
                 "heap exhausted: %d regions, none free" % len(self.regions)
             )
         region = self._free.pop()
@@ -142,7 +162,7 @@ class RegionHeap:
             # because used == capacity for the claimed footprint.
             spanned = -(-obj.size // self.region_bytes)
             if spanned > self.free_regions:
-                raise OutOfMemoryError("no room for humongous object")
+                raise SimOutOfMemoryError("no room for humongous object")
             region = self.claim_region(Space.HUMONGOUS)
             region.capacity = spanned * self.region_bytes
             # account for the extra physically-claimed regions

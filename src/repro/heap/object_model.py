@@ -17,9 +17,12 @@ workloads allocate millions of them per run.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.heap import header as hdr
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.heap.region import Region
 
 #: Death time meaning "still referenced; lifetime unknown/unbounded yet".
 IMMORTAL = float("inf")
@@ -66,7 +69,7 @@ class SimObject:
         self.death_time_ns = death_time_ns
         self.header = hdr.fresh_header(context)
         #: back-pointer to the region currently holding this object
-        self.region = None  # type: Optional[object]
+        self.region: Optional["Region"] = None
         #: number of times the object has been copied by the GC
         self.copies = 0
 

@@ -6,11 +6,18 @@ accepts the resulting profiling loss (Section 3.2.2): a bias-locked
 object's context is clobbered and the object is discarded for profiling.
 
 The simulator exercises this path so the loss-of-information behaviour
-(and the rare stale-context-matches-table accident) is testable.
+(and the rare stale-context-matches-table accident) is testable.  The
+manager also keeps an authoritative record of every live bias — object,
+thread pointer, owning thread — which the heap verifier cross-checks
+against header bits and the lock-discipline checker uses to replay
+acquisition/revocation ordering.
 """
 
 from __future__ import annotations
 
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.analysis import NULL_VERIFIER
 from repro.heap.object_model import SimObject
 from repro.runtime.thread import SimThread
 from repro.telemetry import NULL_TELEMETRY
@@ -23,6 +30,12 @@ class BiasedLockManager:
         self.locks_taken = 0
         self.revocations = 0
         self.contexts_clobbered = 0
+        #: id(obj) -> (obj, thread pointer written to the header, owner
+        #: thread id) for every currently biased object.  Keyed by id()
+        #: because SimObject is unhashable-by-value and identity is the
+        #: right equivalence for lock words.
+        self._records: Dict[int, Tuple[SimObject, int, int]] = {}
+        self._verifier = NULL_VERIFIER
         self.bind_telemetry(NULL_TELEMETRY)
 
     def bind_telemetry(self, telemetry) -> None:
@@ -40,33 +53,71 @@ class BiasedLockManager:
             "Allocation contexts overwritten by a bias lock",
         )
 
+    def bind_verifier(self, verifier) -> None:
+        """Attach the invariant verifier (the VM calls this after
+        construction; the default null verifier checks nothing)."""
+        self._verifier = verifier
+
+    @staticmethod
+    def thread_pointer(thread: SimThread) -> int:
+        """The plausible thread-pointer value written to lock words:
+        aligned, non-zero, derived from the thread id."""
+        return (0x7F00_0000 | (thread.thread_id << 8)) & 0xFFFF_FFFF
+
     def lock(self, thread: SimThread, obj: SimObject) -> None:
         """Bias-lock ``obj`` toward ``thread``.
 
         The thread "pointer" written to the header is derived from the
         thread id; it overwrites the allocation context.
         """
+        if self._verifier.enabled:
+            # Pre-state check: ordering violations must fire before the
+            # header mutation destroys the evidence.
+            self._verifier.on_bias_lock(thread, obj)
         self._m_locks.inc()
         if obj.context:
             self.contexts_clobbered += 1
             self._m_clobbered.inc()
-        # A plausible thread-pointer value: aligned, non-zero.
-        thread_pointer = (0x7F00_0000 | (thread.thread_id << 8)) & 0xFFFF_FFFF
-        obj.bias_lock(thread_pointer)
+        pointer = self.thread_pointer(thread)
+        obj.bias_lock(pointer)
+        self._records[id(obj)] = (obj, pointer, thread.thread_id)
         thread.biased_objects += 1
         self.locks_taken += 1
 
-    def revoke(self, obj: SimObject) -> None:
+    def revoke(self, obj: SimObject, thread: Optional[SimThread] = None) -> None:
         """Revoke the bias (e.g. on contention).
 
-        The stale thread pointer remains in the context bits — from the
-        profiler's view the context is corrupt and will (almost always)
-        miss the OLD table and be discarded.
+        ``thread`` is the revoking thread when one initiates it; the VM
+        itself revokes (at a safepoint) when omitted.  The stale thread
+        pointer remains in the context bits — from the profiler's view
+        the context is corrupt and will (almost always) miss the OLD
+        table and be discarded.
         """
         from repro.heap import header as hdr
 
+        if self._verifier.enabled:
+            self._verifier.on_bias_revoke(obj, thread)
+        self._records.pop(id(obj), None)
         obj.header = hdr.revoke_bias(obj.header)
         self.revocations += 1
         self._m_revocations.inc()
         if self._tracer.enabled:
             self._tracer.instant("vm/bias-revocation", category="vm")
+
+    # -- verifier views -------------------------------------------------------
+
+    def bias_record(self, obj: SimObject) -> Optional[Tuple[int, int]]:
+        """``(thread_pointer, thread_id)`` for a currently biased object,
+        or None when the manager granted no bias."""
+        record = self._records.get(id(obj))
+        if record is None or record[0] is not obj:
+            return None
+        return record[1], record[2]
+
+    def iter_bias_records(self) -> Iterator[Tuple[SimObject, int, int]]:
+        """All live (object, thread_pointer, thread_id) bias records."""
+        return iter(list(self._records.values()))
+
+    @property
+    def biased_count(self) -> int:
+        return len(self._records)

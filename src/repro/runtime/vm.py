@@ -7,9 +7,10 @@ artifact exposes (ROLP is "a simple JVM command line flag").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.analysis import VERIFY_LEVELS, default_verify_level, make_verifier
 from repro.heap.header import install_context
 from repro.heap.object_model import IMMORTAL, SimObject
 from repro.runtime.biased_lock import BiasedLockManager
@@ -42,11 +43,21 @@ class VMFlags:
     fix_exception_unwind: bool = True
     #: base mutator cost per allocation (object init, TLAB bump)
     alloc_base_ns: float = 30.0
+    #: invariant verification: 0 off, 1 heap walks at GC boundaries,
+    #: 2 adds the biased-lock discipline checker.  ``None`` means "use
+    #: the process-wide default" (set by ``rolp-bench --verify``).
+    verify_level: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.call_profiling_mode not in CALL_PROFILING_MODES:
             raise ValueError(
                 "call_profiling_mode must be one of %s" % (CALL_PROFILING_MODES,)
+            )
+        if self.verify_level is None:
+            self.verify_level = default_verify_level()
+        if self.verify_level not in VERIFY_LEVELS:
+            raise ValueError(
+                "verify_level must be one of %s" % (VERIFY_LEVELS,)
             )
 
 
@@ -95,8 +106,11 @@ class JavaVM:
             inline_max_size=self.flags.inline_max_size,
         )
         self.jit.bind_telemetry(self.telemetry)
+        self.verifier = make_verifier(self.flags.verify_level)
+        self.verifier.bind(self)
         self.biased_locks = BiasedLockManager()
         self.biased_locks.bind_telemetry(self.telemetry)
+        self.biased_locks.bind_verifier(self.verifier)
         self.profiler.bind_telemetry(self.telemetry)
         self.threads: List[SimThread] = []
         self._next_thread_id = 1
@@ -201,6 +215,8 @@ class JavaVM:
             if sampled:
                 self.profiler.on_allocation(context, obj)
             else:
+                if self.verifier.enabled:
+                    self.verifier.on_context_install(thread, obj, 0)
                 obj.header = install_context(obj.header, 0)
         self.allocations += 1
         self.bytes_allocated += size
@@ -218,6 +234,8 @@ class JavaVM:
         state against its real frame stack (Section 7.2.3)."""
         for thread in self.threads:
             thread.verify_and_repair()
+        if self.verifier.enabled:
+            self.verifier.at_safepoint(self)
 
     # -- statistics -------------------------------------------------------------------------
 

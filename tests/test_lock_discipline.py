@@ -1,0 +1,232 @@
+"""Happens-before tests for the biased-lock discipline checker.
+
+Covers both the checker driven directly with hand-built event sequences
+(fault injection: out-of-order revocation, races, header/record
+mismatches) and the checker wired through :class:`BiasedLockManager`
+and the VM, where every event comes from real lock operations.
+"""
+
+import pytest
+
+from repro.analysis import InvariantViolation, VerifierSuite
+from repro.analysis.lock_checker import VM_ACTOR, LockDisciplineChecker, _happens_before
+from repro.gc import G1Collector
+from repro.heap import BandwidthModel, RegionHeap
+from repro.heap import header as hdr
+from repro.heap.object_model import SimObject
+from repro.runtime import JavaVM, VMFlags
+from repro.runtime.biased_lock import BiasedLockManager
+from repro.runtime.thread import SimThread
+
+
+def bias(checker, thread, obj):
+    """Drive one legal acquisition: checker event, then the mutation."""
+    checker.on_bias_lock(thread, obj)
+    obj.bias_lock(0x7F00_0000 | (thread.thread_id << 8))
+
+
+def revoke(checker, obj, thread=None):
+    checker.on_bias_revoke(obj, thread)
+    obj.header = hdr.revoke_bias(obj.header)
+
+
+class TestVectorClocks:
+    def test_happens_before_ordering(self):
+        assert _happens_before({1: 1}, {1: 2})
+        assert _happens_before({}, {1: 1})
+        assert not _happens_before({1: 2}, {1: 1})
+        assert not _happens_before({1: 1, 2: 1}, {1: 5})  # actor 2 unseen
+
+    def test_safepoint_joins_all_actors(self):
+        checker = LockDisciplineChecker()
+        t1, t2 = SimThread(1), SimThread(2)
+        obj = SimObject(64, 0)
+        bias(checker, t1, obj)
+        revoke(checker, obj, t1)
+        checker.at_safepoint([t1, t2])
+        # after the join, t2's clock dominates everything t1 did
+        assert _happens_before(checker._clocks[1], checker._clocks[2])
+        assert checker.safepoints == 1
+
+
+class TestLegalSequences:
+    def test_lock_revoke_safepoint_relock(self):
+        checker = LockDisciplineChecker()
+        t1, t2 = SimThread(1), SimThread(2)
+        obj = SimObject(64, 0)
+        bias(checker, t1, obj)
+        assert checker.owner_of(obj) == 1
+        assert checker.biased_count() == 1
+        revoke(checker, obj)  # VM-initiated revocation
+        checker.at_safepoint([t1, t2])
+        bias(checker, t2, obj)  # ordered after the revoke: legal
+        assert checker.owner_of(obj) == 2
+        assert checker.violations == 0
+
+    def test_same_thread_rebias_needs_no_safepoint(self):
+        checker = LockDisciplineChecker()
+        t1 = SimThread(1)
+        obj = SimObject(64, 0)
+        bias(checker, t1, obj)
+        revoke(checker, obj, t1)
+        bias(checker, t1, obj)  # its own revoke already happened-before
+        assert checker.violations == 0
+
+    def test_distinct_objects_are_independent(self):
+        checker = LockDisciplineChecker()
+        t1, t2 = SimThread(1), SimThread(2)
+        a, b = SimObject(64, 0), SimObject(64, 0)
+        bias(checker, t1, a)
+        bias(checker, t2, b)
+        assert checker.biased_count() == 2
+        assert checker.owner_of(a) == 1
+        assert checker.owner_of(b) == 2
+
+
+class TestOrderingFaults:
+    def test_double_bias_fires(self):
+        checker = LockDisciplineChecker()
+        t1, t2 = SimThread(1), SimThread(2)
+        obj = SimObject(64, 0)
+        bias(checker, t1, obj)
+        with pytest.raises(InvariantViolation) as info:
+            checker.on_bias_lock(t2, obj)
+        assert info.value.rule == "lock/double-bias"
+        assert info.value.details["thread"] == 2
+        assert info.value.details["owner"] == 1
+
+    def test_revoke_of_unbiased_object_fires(self):
+        checker = LockDisciplineChecker()
+        obj = SimObject(64, 0)
+        with pytest.raises(InvariantViolation) as info:
+            checker.on_bias_revoke(obj, SimThread(1))
+        assert info.value.rule == "lock/revoke-unbiased"
+        assert info.value.details["thread"] == 1
+
+    def test_rebias_without_safepoint_fires(self):
+        checker = LockDisciplineChecker()
+        t1, t2 = SimThread(1), SimThread(2)
+        obj = SimObject(64, 0)
+        bias(checker, t1, obj)
+        revoke(checker, obj)  # VM revokes; t2 never observes it
+        with pytest.raises(InvariantViolation) as info:
+            checker.on_bias_lock(t2, obj)
+        assert info.value.rule == "lock/unordered-rebias"
+        assert info.value.details["thread"] == 2
+        assert info.value.details["revoker"] == VM_ACTOR
+
+    def test_safepoint_between_revoke_and_rebias_heals(self):
+        checker = LockDisciplineChecker()
+        t1, t2 = SimThread(1), SimThread(2)
+        obj = SimObject(64, 0)
+        bias(checker, t1, obj)
+        revoke(checker, obj)
+        checker.at_safepoint([t1, t2])
+        bias(checker, t2, obj)
+        assert checker.violations == 0
+
+    def test_context_overwrite_on_live_lock_fires(self):
+        checker = LockDisciplineChecker()
+        t1, t2 = SimThread(1), SimThread(2)
+        obj = SimObject(64, 0)
+        bias(checker, t1, obj)
+        with pytest.raises(InvariantViolation) as info:
+            checker.on_context_install(t2, obj, 0x0042_0007)
+        assert info.value.rule == "lock/context-overwrite"
+        assert info.value.details["owner"] == 1
+        assert info.value.details["new_context"] == 0x0042_0007
+
+    def test_context_install_on_unlocked_object_passes(self):
+        checker = LockDisciplineChecker()
+        checker.on_context_install(SimThread(1), SimObject(64, 0), 0x42)
+        assert checker.violations == 0
+
+
+class TestHeaderRecordMismatch:
+    def test_bit_without_grant_fires(self):
+        checker = LockDisciplineChecker()
+        obj = SimObject(64, 0)
+        obj.bias_lock(0x7F00_0100)  # header written behind the manager's back
+        with pytest.raises(InvariantViolation) as info:
+            checker.on_bias_lock(SimThread(1), obj)
+        assert info.value.rule == "lock/header-mismatch"
+
+    def test_grant_without_bit_fires_on_revoke(self):
+        checker = LockDisciplineChecker()
+        t1 = SimThread(1)
+        obj = SimObject(64, 0)
+        checker.on_bias_lock(t1, obj)  # granted, but the bit never lands
+        with pytest.raises(InvariantViolation) as info:
+            checker.on_bias_revoke(obj, t1)
+        assert info.value.rule == "lock/header-mismatch"
+        assert info.value.details["owner"] == 1
+
+
+class TestManagerIntegration:
+    """The checker fed by real BiasedLockManager operations."""
+
+    def manager(self):
+        suite = VerifierSuite(2)
+        manager = BiasedLockManager()
+        manager.bind_verifier(suite)
+        return manager, suite
+
+    def test_legal_lock_revoke_cycle(self):
+        manager, suite = self.manager()
+        t1, t2 = SimThread(1), SimThread(2)
+        obj = SimObject(64, 0)
+        manager.lock(t1, obj)
+        manager.revoke(obj)
+        suite.locks.at_safepoint([t1, t2])
+        manager.lock(t2, obj)
+        assert suite.violations == 0
+        assert suite.locks.owner_of(obj) == 2
+
+    def test_double_lock_through_manager_fires(self):
+        manager, _ = self.manager()
+        obj = SimObject(64, 0)
+        manager.lock(SimThread(1), obj)
+        with pytest.raises(InvariantViolation, match="double-bias"):
+            manager.lock(SimThread(2), obj)
+
+    def test_racing_rebias_through_manager_fires(self):
+        manager, _ = self.manager()
+        obj = SimObject(64, 0)
+        manager.lock(SimThread(1), obj)
+        manager.revoke(obj)
+        with pytest.raises(InvariantViolation, match="unordered-rebias"):
+            manager.lock(SimThread(2), obj)
+
+    def test_unbound_manager_checks_nothing(self):
+        manager = BiasedLockManager()  # null verifier: old behaviour
+        obj = SimObject(64, 0)
+        manager.lock(SimThread(1), obj)
+        manager.lock(SimThread(2), obj)  # double bias goes unnoticed
+        assert manager.locks_taken == 2
+
+
+class TestVmIntegration:
+    def make_vm(self, level):
+        heap = RegionHeap(8 << 20)
+        return JavaVM(
+            G1Collector(heap, BandwidthModel()), flags=VMFlags(verify_level=level)
+        )
+
+    def test_full_level_wires_lock_checker(self):
+        vm = self.make_vm(2)
+        assert vm.verifier.locks is not None
+        assert vm.biased_locks._verifier is vm.verifier
+        t1 = vm.spawn_thread()
+        obj = SimObject(64, 0)
+        vm.biased_locks.lock(t1, obj)
+        assert vm.verifier.locks.owner_of(obj) == t1.thread_id
+        vm.at_safepoint()
+        assert vm.verifier.locks.safepoints == 1
+
+    def test_heap_level_skips_lock_checker(self):
+        vm = self.make_vm(1)
+        assert vm.verifier.locks is None
+        obj = SimObject(64, 0)
+        vm.biased_locks.lock(vm.spawn_thread(), obj)
+        vm.biased_locks.lock(vm.spawn_thread(), obj)  # not checked at level 1
+        assert vm.biased_locks.locks_taken == 2

@@ -1,0 +1,143 @@
+"""Integration tests for ``rolp-bench --verify``.
+
+Three contracts matter here: verification must not change results
+(verified and unverified runs of the same cell render byte-identical
+output), verified and unverified runs must never share cache entries,
+and an invariant violation anywhere in the grid must surface as exit
+status 3 with the structured message on stderr.
+"""
+
+import re
+
+import pytest
+
+from repro.analysis import InvariantViolation, default_verify_level
+from repro.analysis.heap_verifier import HeapVerifier
+from repro.bench.cli import main
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch, tmp_path):
+    monkeypatch.setenv("ROLP_BENCH_SCALE", "0.02")
+    monkeypatch.setenv("ROLP_BENCH_CACHE_DIR", str(tmp_path / "cell-cache"))
+
+
+def runner_stats(err):
+    """Parse the ``[runner]`` stderr summary into a dict."""
+    match = re.search(
+        r"cells: (\d+) \| cache hits: (\d+) \| misses: (\d+) \| "
+        r"simulations executed: (\d+)",
+        err,
+    )
+    assert match, "no [runner] summary in stderr:\n%s" % err
+    keys = ("cells", "hits", "misses", "simulations")
+    return dict(zip(keys, map(int, match.groups())))
+
+
+class TestVerifiedRuns:
+    def test_table1_verified_passes_clean(self, capsys):
+        assert main(["table1", "--workloads", "lucene", "--verify"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        assert "[verify] level 2: all invariant checks passed" in captured.err
+
+    def test_fig6_verified_passes_clean(self, capsys):
+        assert main(["fig6", "--benchmarks", "avrora", "--verify"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 6" in captured.out
+        assert "[verify] level 2" in captured.err
+
+    def test_heap_only_level(self, capsys):
+        assert main(["table1", "--workloads", "lucene", "--verify", "1"]) == 0
+        assert "[verify] level 1" in capsys.readouterr().err
+
+    def test_unverified_run_prints_no_verify_line(self, capsys):
+        assert main(["table1", "--workloads", "lucene"]) == 0
+        assert "[verify]" not in capsys.readouterr().err
+
+    def test_ambient_level_restored_after_run(self):
+        assert default_verify_level() == 0
+        assert main(["table1", "--workloads", "lucene", "--verify"]) == 0
+        assert default_verify_level() == 0
+
+
+class TestResultIdentity:
+    def test_verified_output_is_byte_identical(self, capsys):
+        """Verification observes; it must never perturb results."""
+        args = ["table1", "--workloads", "lucene", "--no-cache"]
+        assert main(args) == 0
+        baseline = capsys.readouterr().out
+        assert main(args + ["--verify"]) == 0
+        verified = capsys.readouterr().out
+        assert verified == baseline
+
+
+class TestCacheSeparation:
+    def test_verified_run_never_reads_unverified_entries(self, capsys):
+        args = ["table1", "--workloads", "lucene"]
+        assert main(args) == 0
+        cold = runner_stats(capsys.readouterr().err)
+        assert cold.pop("hits") == 0 and cold["simulations"] > 0
+
+        # same grid, verification on: every cell must simulate afresh
+        assert main(args + ["--verify"]) == 0
+        verified_cold = runner_stats(capsys.readouterr().err)
+        assert verified_cold.pop("hits") == 0
+        assert verified_cold["simulations"] == cold["simulations"]
+
+        # and each mode hits only its own entries on re-run
+        assert main(args + ["--verify"]) == 0
+        assert runner_stats(capsys.readouterr().err)["simulations"] == 0
+        assert main(args) == 0
+        assert runner_stats(capsys.readouterr().err)["simulations"] == 0
+
+    def test_verify_levels_do_not_share_entries(self, capsys):
+        args = ["table1", "--workloads", "lucene"]
+        assert main(args + ["--verify", "1"]) == 0
+        first = runner_stats(capsys.readouterr().err)
+        assert main(args + ["--verify", "2"]) == 0
+        second = runner_stats(capsys.readouterr().err)
+        assert second["hits"] == 0
+        assert second["simulations"] == first["simulations"]
+
+
+class TestViolationExitPath:
+    def test_violation_exits_3_with_structured_message(self, capsys, monkeypatch):
+        def explode(self, heap, collector=None, biased=None, phase="manual"):
+            raise InvariantViolation(
+                "heap/region-used", "planted corruption", region=7, phase=phase
+            )
+
+        monkeypatch.setattr(HeapVerifier, "verify", explode)
+        rc = main(["table1", "--workloads", "lucene", "--verify", "--no-cache"])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "rolp-bench: invariant violation" in err
+        assert "[heap/region-used] planted corruption" in err
+        assert "region=7" in err
+
+    def test_violation_restores_ambient_level(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            HeapVerifier,
+            "verify",
+            lambda self, *a, **k: (_ for _ in ()).throw(
+                InvariantViolation("heap/committed", "planted")
+            ),
+        )
+        assert (
+            main(["table1", "--workloads", "lucene", "--verify", "--no-cache"])
+            == 3
+        )
+        assert default_verify_level() == 0
+
+    def test_unverified_run_is_immune_to_the_fault(self, capsys, monkeypatch):
+        """With verification off the walker never runs, so the planted
+        fault cannot fire — proof the default path takes no verify cost."""
+        monkeypatch.setattr(
+            HeapVerifier,
+            "verify",
+            lambda self, *a, **k: (_ for _ in ()).throw(
+                InvariantViolation("heap/committed", "planted")
+            ),
+        )
+        assert main(["table1", "--workloads", "lucene", "--no-cache"]) == 0
