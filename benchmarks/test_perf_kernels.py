@@ -1,0 +1,80 @@
+"""pytest-benchmark smoke suite for the hot-path perf kernels.
+
+Opt-in (``ROLP_PERF=1``): wall-clock assertions are meaningless on a
+loaded CI box or an unknown machine, so by default the whole module
+skips.  When enabled, each kernel runs once (the simulated runs are
+deterministic — see conftest) in fast mode and its ns/op is compared
+against ``perf_baseline.json`` with a ±30% guard: slower means a
+regression crept into a hot path, dramatically faster usually means the
+kernel stopped exercising what it used to.
+
+Re-bless the baseline on the machine of record after an intentional
+change::
+
+    ROLP_PERF=1 ROLP_UPDATE_PERF_BASELINE=1 \
+        python -m pytest benchmarks/test_perf_kernels.py
+
+The differential correctness of the kernels (fast vs reference) is
+pinned by tests/test_perf_equivalence.py, which always runs.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import perf
+from repro.bench.config import bench_scale
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("ROLP_PERF") != "1",
+    reason="wall-clock perf guard; opt in with ROLP_PERF=1",
+)
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "perf_baseline.json")
+TOLERANCE = 0.30
+SEED = 1234
+
+
+def load_baseline():
+    with open(BASELINE_PATH) as handle:
+        return json.load(handle)
+
+
+def bless(kernel, result):
+    try:
+        doc = load_baseline()
+    except (OSError, ValueError):
+        doc = {"schema": "rolp-perf-baseline/v1", "kernels": {}}
+    doc["kernels"][kernel] = {
+        "ns_per_op": round(result["ns_per_op"], 1),
+        "ops": result["ops"],
+        "scale": bench_scale(),
+    }
+    with open(BASELINE_PATH, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@pytest.mark.parametrize("kernel", perf.PERF_KERNELS)
+def test_kernel_within_baseline(benchmark, kernel):
+    ops = perf.kernel_ops(kernel)
+    result = benchmark.pedantic(
+        perf.run_kernel, args=(kernel, SEED, ops, True), rounds=1
+    )
+    if os.environ.get("ROLP_UPDATE_PERF_BASELINE") == "1":
+        bless(kernel, result)
+        pytest.skip("baseline re-blessed for %s" % kernel)
+    baseline = load_baseline()["kernels"][kernel]["ns_per_op"]
+    ratio = result["ns_per_op"] / baseline
+    assert ratio <= 1 + TOLERANCE, (
+        "%s regressed: %.0f ns/op vs baseline %.0f (%.0f%% slower); if "
+        "intentional, re-bless with ROLP_UPDATE_PERF_BASELINE=1"
+        % (kernel, result["ns_per_op"], baseline, (ratio - 1) * 100)
+    )
+    assert ratio >= 1 - TOLERANCE, (
+        "%s is suspiciously fast: %.0f ns/op vs baseline %.0f — check the "
+        "kernel still exercises the path, then re-bless with "
+        "ROLP_UPDATE_PERF_BASELINE=1"
+        % (kernel, result["ns_per_op"], baseline)
+    )

@@ -72,6 +72,7 @@ class HeapVerifier:
         try:
             self._verify_region_table(heap)
             self._verify_alloc_cache(heap)
+            self._verify_space_counts(heap)
             self._verify_humongous(heap)
             self._verify_objects(heap, collector, biased)
             if biased is not None:
@@ -177,6 +178,29 @@ class HeapVerifier:
                 cached_gen=gen,
                 actual_space=region.space.value,
                 actual_gen=region.gen,
+            )
+
+    # -- per-space region counters ---------------------------------------------
+
+    def _verify_space_counts(self, heap: RegionHeap) -> None:
+        """The incrementally maintained per-space counts (the collectors'
+        O(1) triggering checks read these) must agree with a region walk.
+
+        Ordered after the region-table and alloc-cache rules so that a
+        fault with a more specific cause (e.g. a region retargeted behind
+        the cache's back) is reported under its own rule first.
+        """
+        walked = {space: 0 for space in Space}
+        for region in heap.regions:
+            walked[region.space] += 1
+        for space in Space:
+            self._check(
+                heap.region_count(space) == walked[space],
+                "heap/space-counts",
+                "incremental per-space region count disagrees with the walk",
+                space=space.value,
+                counted=heap.region_count(space),
+                walked=walked[space],
             )
 
     # -- humongous contiguity --------------------------------------------------

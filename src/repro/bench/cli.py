@@ -52,7 +52,7 @@ from typing import Dict, List, Optional
 
 from repro import COLLECTOR_NAMES
 from repro.analysis import InvariantViolation, set_default_verify_level
-from repro.bench import ablations, artifacts, figures, tables
+from repro.bench import ablations, artifacts, figures, perf, tables
 from repro.bench.config import bench_scale
 from repro.bench.runner import (
     DEFAULT_BASE_SEED,
@@ -273,6 +273,14 @@ def _run_experiments(
             payloads["trace"] = artifacts.trace_payload(rows)
             print("[Trace] per-run summary (full trace via --trace-out)")
             print(render_trace_summary(rows))
+        elif experiment == "perf":
+            study = perf.perf(session=session, runner=runner)
+            payloads["perf"] = study
+            print("[Perf] hot-path microbenchmarks, fast vs reference paths")
+            print(perf.render_perf(study))
+            os.makedirs(os.path.dirname(perf.BENCH_JSON), exist_ok=True)
+            artifacts.write_json(perf.BENCH_JSON, study)
+            print("perf results written to %s" % perf.BENCH_JSON)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -292,6 +300,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "fig10",
             "ablations",
             "trace",
+            "perf",
             "all",
         ],
     )

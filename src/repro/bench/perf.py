@@ -1,0 +1,433 @@
+"""Hot-path microbenchmarks (``rolp-bench perf``).
+
+Five named kernels time the simulator's hottest code paths — allocation,
+method entry/exit, survivor tracking, header pack/unpack and the full-GC
+copy loop — once through the *reference* implementations (fast paths
+disabled) and once through the *optimised* ones (fast paths enabled; see
+:mod:`repro.fastpath`).  Each kernel is driven by the experiment runner
+as a pair of ``perf_kernel`` cells sharing one derived seed (the
+``fast`` flag is a treatment parameter), so both modes replay the
+identical workload and the kernel doubles as a differential test: every
+cell returns a *fingerprint* of the simulation's observable state
+(counters, clocks, table checksums), and the two modes must produce
+byte-identical fingerprints.
+
+Timing cells are deliberately **never cached**: a wall-clock measurement
+replayed from a previous run's cache entry is not a measurement.  The
+fast-path flag still participates in the shared result-cache key (see
+``ResultCache.key_material``) so the figure/table equivalence suite can
+populate both modes side by side.
+
+``perf()`` returns the ``BENCH_5.json`` payload: per kernel, the
+reference timing (the pre-optimisation baseline), the fast timing, the
+speedup and the fingerprint verdict, plus the process's peak RSS.
+
+Wall-clock use (``time.perf_counter``) is legitimate here: the bench
+package is harness scope, outside the determinism lint's simulation-core
+packages.
+"""
+
+from __future__ import annotations
+
+import random
+import resource
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import build_vm
+from repro.bench.config import bench_scale, scaled_ops
+from repro.bench.runner import (
+    DEFAULT_BASE_SEED,
+    Runner,
+    cell_kind,
+    make_cell,
+    shared_seed_scope,
+)
+from repro.core.profiler import RolpConfig, RolpProfiler
+from repro.fastpath import fast_paths_enabled, set_fast_paths
+from repro.gc.g1 import G1Collector
+from repro.heap import header as hdr
+from repro.heap.bandwidth import BandwidthModel
+from repro.heap.heap import RegionHeap
+from repro.heap.object_model import IMMORTAL, SimObject
+from repro.metrics.report import render_table
+from repro.runtime.method import Method
+from repro.runtime.vm import JavaVM, VMFlags
+
+#: the kernel catalogue, in print order (docs/performance.md documents
+#: exactly what each one exercises)
+PERF_KERNELS = ("alloc", "call", "survivor", "header", "gc_copy")
+
+#: unscaled operation budget per kernel (ROLP_BENCH_SCALE applies)
+_BASE_OPS = {
+    "alloc": 60_000,
+    "call": 60_000,
+    "survivor": 120_000,
+    "header": 200_000,
+    "gc_copy": 30_000,
+}
+
+#: default artifact path for the CLI's ``perf`` experiment
+BENCH_JSON = "bench_results/BENCH_5.json"
+
+
+def kernel_ops(kernel: str) -> int:
+    """The scaled operation budget for one kernel."""
+    return scaled_ops(_BASE_OPS[kernel])
+
+
+# ----------------------------------------------------------------- fingerprints
+
+def _table_checksum(table) -> int:
+    """Order-independent digest of the OLD table's full contents."""
+    checksum = 0
+    for context in sorted(table.contexts()):
+        checksum = (checksum * 1000003 + context) & hdr.MASK_64
+        for value in table.curve(context):
+            checksum = (checksum * 1000003 + value) & hdr.MASK_64
+    return checksum
+
+
+# ---------------------------------------------------------------------- kernels
+#
+# Each kernel is ``fn(seed, ops) -> run`` where ``run() -> (ops_done,
+# fingerprint)``.  Fixture construction happens in the outer call
+# (untimed — building 2048 seeded objects is not the hot path being
+# measured); only ``run`` is timed.  The fingerprint must cover every
+# observable the optimisations could have perturbed: clock totals
+# (float repr — bit equality, not tolerance), RNG-dependent counters,
+# table contents, stack states.
+
+KernelRun = Callable[[], Tuple[int, Dict[str, object]]]
+
+
+def _kernel_alloc(seed: int, ops: int) -> KernelRun:
+    """The allocation path: ``ctx.alloc`` → context resolution → sampling
+    → collector placement → header install → OLD-table increment."""
+    rng = random.Random(seed)
+    sizes = [rng.choice((64, 128, 192, 256, 384, 512)) for _ in range(997)]
+    lives = [rng.choice((5_000, 50_000, 500_000)) for _ in range(991)]
+    vm, profiler = build_vm(
+        "rolp",
+        heap_mb=64,
+        region_kb=256,
+        flags=VMFlags(compile_threshold=1),
+    )
+    thread = vm.spawn_thread("bench")
+
+    def body(ctx, start, count):
+        for i in range(count):
+            j = start + i
+            ctx.alloc(j % 7, sizes[j % 997], lives[j % 991])
+
+    method = Method("allocLoop", "bench.perf.Alloc", body, bytecode_size=120)
+
+    def run() -> Tuple[int, Dict[str, object]]:
+        done = 0
+        while done < ops:
+            count = min(1_000, ops - done)
+            vm.run(thread, method, done, count)
+            done += count
+        return done, {
+            "allocations": vm.allocations,
+            "bytes": vm.bytes_allocated,
+            "gc_cycles": vm.collector.gc_cycles,
+            "now_ns": vm.clock.now_ns,
+            "tax": repr(vm.profiling_tax_ns),
+            "table": _table_checksum(profiler.old_table),
+            "survivals": profiler.survivals_recorded,
+            "lost": profiler.old_table.lost_increments,
+            "stack_state": thread.stack_state,
+        }
+
+    return run
+
+
+def _kernel_call(seed: int, ops: int) -> KernelRun:
+    """Method entry/exit: call-site bookkeeping, the stack-state add/sub
+    slow path (mode ``slow``), frame push/pop, JIT invocation counting."""
+    vm, _ = build_vm(
+        "rolp",
+        heap_mb=64,
+        region_kb=256,
+        flags=VMFlags(compile_threshold=10, call_profiling_mode="slow"),
+    )
+    thread = vm.spawn_thread("bench")
+
+    def leaf_body(ctx):
+        return None
+
+    # bytecode_size > inline_max_size keeps every site out of inlining,
+    # so each carries a real stack-state increment once jitted
+    leaf_a = Method("leafA", "bench.perf.Call", leaf_body, bytecode_size=100)
+    leaf_b = Method("leafB", "bench.perf.Call", leaf_body, bytecode_size=100)
+
+    def mid_body(ctx):
+        ctx.call(1, leaf_a)
+        ctx.call(2, leaf_b)
+
+    mid = Method("mid", "bench.perf.Call", mid_body, bytecode_size=100)
+
+    def root_body(ctx, count):
+        for _ in range(count):
+            ctx.call(1, mid)
+            ctx.call(2, mid)
+
+    root = Method("root", "bench.perf.Call", root_body, bytecode_size=100)
+    # each root-body iteration performs 6 dynamic calls (2 mid + 4 leaf)
+    iterations = max(1, ops // 6)
+
+    def run() -> Tuple[int, Dict[str, object]]:
+        done = 0
+        while done < iterations:
+            count = min(500, iterations - done)
+            vm.run(thread, root, count)
+            done += count
+        return iterations * 6, {
+            "invocations": [
+                root.invocations,
+                mid.invocations,
+                leaf_a.invocations,
+                leaf_b.invocations,
+            ],
+            "stack_state": thread.stack_state,
+            "now_ns": vm.clock.now_ns,
+            "tax": repr(vm.profiling_tax_ns),
+            "compiled": len(vm.jit.compiled_methods),
+        }
+
+    return run
+
+
+def _kernel_survivor(seed: int, ops: int) -> KernelRun:
+    """Survivor tracking: the per-GC-worker buffering of survival
+    records plus the end-of-pause merge into the OLD table (including
+    the periodic inference pass)."""
+    rng = random.Random(seed)
+    profiler = RolpProfiler(RolpConfig(gc_workers=4))
+    table = profiler.old_table
+    for site_id in range(1, 65):
+        table.register_site(site_id)
+    objs: List[SimObject] = []
+    for _ in range(2_048):
+        # site 0 and sites 65..80 are unknown → validity-filter work;
+        # a slice of biased-locked headers exercises the discard path
+        context = hdr.pack_context(rng.randint(0, 80), rng.randint(0, 0xFFFF))
+        obj = SimObject(64, 0, IMMORTAL, context)
+        obj.header = hdr.set_age(obj.header, rng.randint(0, 15))
+        if rng.random() < 0.05:
+            obj.header = hdr.bias_lock(obj.header, 0xDEAD)
+        objs.append(obj)
+    batches = max(1, ops // len(objs))
+
+    def run() -> Tuple[int, Dict[str, object]]:
+        for gc_number in range(1, batches + 1):
+            profiler.on_gc_survivors(objs, 4)
+            profiler.on_gc_end(gc_number, gc_number * 1_000_000, 1_000_000.0)
+        return batches * len(objs), {
+            "table": _table_checksum(table),
+            "recorded": profiler.survivals_recorded,
+            "discarded": profiler.survivals_discarded,
+            "advice": len(profiler.advice),
+            "inference_passes": profiler.inference.passes_run,
+        }
+
+    return run
+
+
+def _kernel_header(seed: int, ops: int) -> KernelRun:
+    """Header bit manipulation: the age increment and fresh-header
+    construction the copy and allocation loops lean on.  The fast mode
+    times the optimised functions, the reference mode their ``*_reference``
+    twins; the accumulator proves they compute the same words."""
+    rng = random.Random(seed)
+    headers = [rng.getrandbits(64) for _ in range(4_096)]
+    contexts = [rng.getrandbits(32) for _ in range(4_096)]
+    if fast_paths_enabled():
+        increment, fresh = hdr.increment_age, hdr.fresh_header
+    else:
+        increment, fresh = hdr.increment_age_reference, hdr.fresh_header_reference
+
+    def run() -> Tuple[int, Dict[str, object]]:
+        accumulator = 0
+        n = len(headers)
+        mask = hdr.MASK_64
+        for i in range(ops):
+            j = i % n
+            accumulator = (accumulator + increment(headers[j]) + fresh(contexts[j])) & mask
+        return ops, {"checksum": accumulator}
+
+    return run
+
+
+def _kernel_gc_copy(seed: int, ops: int) -> KernelRun:
+    """The young-GC copy loop: survivor profiling, aging, re-placement.
+    A tenuring threshold above ``MAX_AGE`` pins every object in survivor
+    space, so each forced collection re-copies the full live set."""
+    rng = random.Random(seed)
+    heap = RegionHeap(64 << 20, 256 << 10)
+    collector = G1Collector(
+        heap, BandwidthModel(), young_regions=16, tenuring_threshold=20
+    )
+    profiler = RolpProfiler()
+    vm = JavaVM(collector, profiler, VMFlags(compile_threshold=1))
+    thread = vm.spawn_thread("bench")
+    sizes = [rng.choice((96, 128, 160, 192, 256)) for _ in range(997)]
+
+    def body(ctx, start, count):
+        for i in range(count):
+            j = start + i
+            ctx.alloc(j % 5, sizes[j % 997])  # immortal: survives every GC
+
+    method = Method("fill", "bench.perf.Copy", body, bytecode_size=120)
+    live_objects = 16_000
+    done = 0
+    while done < live_objects:
+        count = min(1_000, live_objects - done)
+        vm.run(thread, method, done, count)
+        done += count
+
+    def run() -> Tuple[int, Dict[str, object]]:
+        copies = 0
+        while copies < ops:
+            collector.collect_young()
+            copies = sum(p.survivors for p in collector.pauses)
+        return copies, {
+            "bytes_copied": collector.bytes_copied_total,
+            "breakdown": dict(collector.copy_breakdown),
+            "gc_cycles": collector.gc_cycles,
+            "now_ns": vm.clock.now_ns,
+            "table": _table_checksum(profiler.old_table),
+            "recorded": profiler.survivals_recorded,
+            "discarded": profiler.survivals_discarded,
+        }
+
+    return run
+
+
+_KERNEL_FNS = {
+    "alloc": _kernel_alloc,
+    "call": _kernel_call,
+    "survivor": _kernel_survivor,
+    "header": _kernel_header,
+    "gc_copy": _kernel_gc_copy,
+}
+
+
+def run_kernel(kernel: str, seed: int, ops: int, fast: bool) -> Dict[str, object]:
+    """Run one kernel in one mode; the building block the cell kind and
+    the differential tests share.
+
+    The process-global fast-path switch is flipped for the duration so
+    every component constructed inside captures the requested mode, then
+    restored.  Fixture setup runs inside the switch window (components
+    snapshot the mode at construction) but outside the timed region.
+    """
+    previous = set_fast_paths(bool(fast))
+    try:
+        run = _KERNEL_FNS[kernel](seed, ops)
+        started = time.perf_counter()
+        ops_done, fingerprint = run()
+        elapsed = max(time.perf_counter() - started, 1e-9)
+    finally:
+        set_fast_paths(previous)
+    return {
+        "kernel": kernel,
+        "fast": bool(fast),
+        "ops": ops_done,
+        "elapsed_s": elapsed,
+        "ops_per_s": ops_done / elapsed,
+        "ns_per_op": elapsed * 1e9 / ops_done,
+        "fingerprint": fingerprint,
+    }
+
+
+@cell_kind(
+    "perf_kernel",
+    track=lambda p: "perf/%s/%s" % (p["kernel"], "fast" if p["fast"] else "reference"),
+    seed_scope=shared_seed_scope("perf_kernel", "fast"),
+)
+def _perf_cell(seed, telemetry, kernel, ops, fast):
+    return run_kernel(kernel, seed, ops, fast)
+
+
+# ------------------------------------------------------------------- experiment
+
+def perf(
+    kernels: Optional[Sequence[str]] = None,
+    session=None,
+    runner: Optional[Runner] = None,
+) -> Dict[str, object]:
+    """Run every kernel through both modes; return the BENCH_5 payload.
+
+    ``runner`` supplies seed/progress settings, but the timing cells
+    always execute uncached (see the module docstring) and sequentially:
+    concurrent workers contend for cores, and a contended wall-clock
+    measurement would report speedups that are scheduler noise.
+    """
+    names = list(kernels or PERF_KERNELS)
+    unknown = [name for name in names if name not in _KERNEL_FNS]
+    if unknown:
+        raise KeyError(
+            "unknown perf kernel(s) %s (choose from: %s)"
+            % (", ".join(sorted(unknown)), ", ".join(PERF_KERNELS))
+        )
+    timing_runner = Runner(
+        jobs=1,
+        cache=None,
+        base_seed=runner.base_seed if runner is not None else DEFAULT_BASE_SEED,
+        session=session if session is not None else getattr(runner, "session", None),
+        progress=runner.progress if runner is not None else False,
+    )
+    cells = [
+        make_cell("perf_kernel", kernel=name, ops=kernel_ops(name), fast=fast)
+        for name in names
+        for fast in (False, True)
+    ]
+    results = timing_runner.run(cells)
+    kernels_payload: Dict[str, object] = {}
+    for index, name in enumerate(names):
+        reference, fast = results[2 * index], results[2 * index + 1]
+        kernels_payload[name] = {
+            "reference": _timing(reference),
+            "fast": _timing(fast),
+            "speedup": fast["ops_per_s"] / reference["ops_per_s"],
+            "fingerprint_match": reference["fingerprint"] == fast["fingerprint"],
+            "fingerprint": reference["fingerprint"],
+        }
+    return {
+        "schema": "rolp-bench/v1",
+        "experiment": "perf",
+        "scale": bench_scale(),
+        "rss_max_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "kernels": kernels_payload,
+    }
+
+
+def _timing(result: Dict[str, object]) -> Dict[str, object]:
+    return {
+        "ops": result["ops"],
+        "elapsed_s": result["elapsed_s"],
+        "ops_per_s": result["ops_per_s"],
+        "ns_per_op": result["ns_per_op"],
+    }
+
+
+def render_perf(payload: Dict[str, object]) -> str:
+    rows = []
+    for name in payload["kernels"]:
+        entry = payload["kernels"][name]
+        rows.append(
+            [
+                name,
+                entry["reference"]["ops"],
+                "%.0f" % entry["reference"]["ns_per_op"],
+                "%.0f" % entry["fast"]["ns_per_op"],
+                "%.2fx" % entry["speedup"],
+                "yes" if entry["fingerprint_match"] else "NO — DIVERGED",
+            ]
+        )
+    return render_table(
+        ["kernel", "ops", "ref ns/op", "fast ns/op", "speedup", "equivalent"],
+        rows,
+    )

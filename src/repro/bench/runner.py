@@ -41,10 +41,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import default_verify_level, set_default_verify_level
 from repro.bench.config import bench_scale
+from repro.fastpath import fast_paths_enabled, set_fast_paths
 
 #: bump when a cell implementation changes meaning — invalidates every
 #: cached result produced by older code
-CACHE_VERSION = "rolp-bench-cache/v2"
+CACHE_VERSION = "rolp-bench-cache/v3"
 
 #: default base seed; per-cell seeds are derived from it, never used raw
 DEFAULT_BASE_SEED = 42
@@ -166,7 +167,7 @@ def cell_kind(
 def _ensure_kinds() -> None:
     """Import every module that registers cell kinds (needed when a
     worker starts from a fresh interpreter, i.e. spawn start method)."""
-    from repro.bench import ablations, cli, figures, tables  # noqa: F401
+    from repro.bench import ablations, cli, figures, perf, tables  # noqa: F401
 
 
 def _execute(cell: Cell, seed: int, telemetry=None):
@@ -181,15 +182,16 @@ def _execute(cell: Cell, seed: int, telemetry=None):
     return fn(seed=seed, telemetry=telemetry, **dict(cell.params))
 
 
-def _pool_execute(payload: Tuple[Cell, int, int]):
+def _pool_execute(payload: Tuple[Cell, int, int, bool]):
     """Worker-side entry point (module-level so it pickles).
 
-    Carries the ambient verify level explicitly: fork workers inherit
-    it, but spawn workers start from a fresh interpreter where the
-    default would silently revert to off.
+    Carries the ambient verify level and fast-path switch explicitly:
+    fork workers inherit them, but spawn workers start from a fresh
+    interpreter where the defaults would silently revert.
     """
-    cell, seed, verify_level = payload
+    cell, seed, verify_level, fast = payload
     set_default_verify_level(verify_level)
+    set_fast_paths(fast)
     return _execute(cell, seed, telemetry=None)
 
 
@@ -215,6 +217,10 @@ class ResultCache:
         # goldens), but verified and unverified runs must never share
         # cache entries — a verified run that hit an unverified entry
         # would claim checks it never performed.
+        # The fast-path switch is in the key for the same reason: the
+        # optimised and reference paths are proven equivalent, but the
+        # differential suite must be able to populate both sides without
+        # one mode's entries masking the other's actual execution.
         return "\n".join(
             (
                 CACHE_VERSION,
@@ -222,6 +228,7 @@ class ResultCache:
                 "seed=%d" % seed,
                 "scale=%r" % bench_scale(),
                 "verify=%d" % default_verify_level(),
+                "fast=%d" % fast_paths_enabled(),
             )
         )
 
@@ -398,7 +405,8 @@ class Runner:
             "fork" if "fork" in methods else None
         )
         payloads = [
-            (cell, self.seed_for(cell), default_verify_level()) for cell in cells
+            (cell, self.seed_for(cell), default_verify_level(), fast_paths_enabled())
+            for cell in cells
         ]
         total = len(cells)
         with context.Pool(processes=min(self.jobs, len(cells))) as pool:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.heap.header import (
     MASK_16,
+    MASK_32,
     context_site,
     context_stack_state,
     pack_context,
@@ -22,6 +23,7 @@ from repro.heap.header import (
 
 __all__ = [
     "MASK_16",
+    "MASK_32",
     "context_site",
     "context_stack_state",
     "encode",
@@ -42,6 +44,13 @@ def site_base_context(site_id: int) -> int:
 
 
 def is_plausible(context: int) -> bool:
-    """Cheap structural sanity check: a context with site id 0 can never
-    have been installed by the profiler (0 is reserved)."""
-    return context != 0 and context_site(context) != 0
+    """Cheap structural sanity check on a value claiming to be a context.
+
+    A context is a *32-bit* quantity (the upper header half): anything
+    wider cannot have come from :func:`encode` and is rejected outright
+    rather than silently aliasing the context whose low 32 bits it
+    shares.  Within 32 bits, a site id of 0 can never have been
+    installed by the profiler (0 is reserved for "unprofiled").
+    Negative values are equally implausible.
+    """
+    return 0 < context <= MASK_32 and context & (MASK_16 << 16) != 0

@@ -30,6 +30,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterator, List, Set, Tuple
 
+from repro.fastpath import fast_paths_enabled
 from repro.heap.header import MAX_AGE, NUM_AGES
 from repro.core.context import context_site
 
@@ -81,6 +82,8 @@ class OldTable:
         self._rng = random.Random(seed)
         self.lost_increments = 0
         self.discarded_survivals = 0
+        #: construction-time snapshot of the process fast-path switch
+        self.fast_paths = fast_paths_enabled()
 
     # -- registration -------------------------------------------------------------
 
@@ -146,7 +149,29 @@ class OldTable:
 
     def merge_worker(self, worker: WorkerTable) -> None:
         """Fold a GC worker's private table into the global one (done at
-        the end of each collection, under the safepoint)."""
+        the end of each collection, under the safepoint).
+
+        The fast path applies each ``(context, age)`` bucket's ``count``
+        in one batched update.  Equivalence with ``count`` sequential
+        :meth:`apply_survival` calls: within one bucket nothing else
+        touches ``row[age]`` (the destination column is ``age + 1``), so
+        the sequential decrements remove exactly ``min(count, row[age])``
+        and the increments add exactly ``count``; buckets are processed
+        in the same dict order either way.
+        """
+        if self.fast_paths:
+            rows = self._rows
+            for (context, age), count in worker.updates.items():
+                if age >= MAX_AGE:
+                    continue
+                row = rows.get(context)
+                if row is None:
+                    rows[context] = row = [0] * NUM_AGES
+                current = row[age]
+                row[age] = current - count if count <= current else 0
+                row[age + 1] += count
+            worker.clear()
+            return
         for (context, age), count in worker.updates.items():
             for _ in range(count):
                 self.apply_survival(context, age)

@@ -23,7 +23,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.heap.header import NUM_AGES
+from repro.fastpath import fast_paths_enabled
+from repro.heap.header import (
+    AGE_MASK,
+    AGE_SHIFT,
+    BIASED_MASK,
+    CONTEXT_SHIFT,
+    MASK_16,
+    MASK_32,
+    NUM_AGES,
+)
 from repro.heap.object_model import SimObject
 from repro.runtime.hooks import NullProfiler
 from repro.runtime.method import AllocSite, CallSite, Method
@@ -117,6 +126,10 @@ class RolpProfiler(NullProfiler):
         self._frag_evidence: Dict[int, List[int]] = {}
         #: per-site allocation counters for the sampling extension
         self._sample_counters: Dict[int, int] = {}
+        #: interned site-base contexts (site_id -> site half of encode());
+        #: a hit also proves the site is registered, so the fast
+        #: allocation-context path skips the membership check
+        self._site_bases: Dict[int, int] = {}
         #: sites flagged as conflicted in the two previous inference
         #: passes — a resolution search only starts once a conflict
         #: recurs within that window, so one-off warmup-ramp artifacts
@@ -133,6 +146,15 @@ class RolpProfiler(NullProfiler):
         self.alloc_profile_ns = cfg.alloc_profile_ns
         self.call_fast_ns = cfg.call_fast_ns
         self.call_slow_ns = cfg.call_slow_ns
+
+        #: construction-time snapshot of the process fast-path switch
+        self.fast_paths = fast_paths_enabled()
+        if self.fast_paths:
+            # Rebinding as instance attributes shadows the class methods,
+            # so hot hook dispatch costs one attribute load, no branch.
+            self.allocation_context = self._allocation_context_fast  # type: ignore[method-assign]
+            self.on_allocation = self._on_allocation_fast  # type: ignore[method-assign]
+            self.on_gc_survivors = self._on_gc_survivors_fast  # type: ignore[method-assign]
 
         self.bind_telemetry(NULL_TELEMETRY)
 
@@ -161,6 +183,9 @@ class RolpProfiler(NullProfiler):
         self._m_instrumented_methods = metrics.gauge(
             "rolp_instrumented_methods", "Methods carrying profiling code"
         )
+        #: the fast paths only skip counter updates that would be null
+        #: no-ops anyway, so metric totals match the reference paths
+        self._metrics_on = metrics.enabled
         self.resolver.bind_telemetry(telemetry)
 
     # ------------------------------------------------------------------ JIT hooks
@@ -188,6 +213,19 @@ class RolpProfiler(NullProfiler):
             self.old_table.register_site(site.site_id)
         return encode(site.site_id, thread.stack_state)
 
+    def _allocation_context_fast(self, thread: SimThread, site: AllocSite) -> int:
+        """== :meth:`allocation_context`; the site half of ``encode()`` is
+        interned per site id, and a hit subsumes the registration check."""
+        site_id = site.site_id
+        if site_id == 0:
+            return 0
+        base = self._site_bases.get(site_id)
+        if base is None:
+            base = (site_id & MASK_16) << 16
+            self._site_bases[site_id] = base
+            self.old_table.registered_sites.add(site_id)
+        return base | (thread.stack_state & MASK_16)
+
     def sample_allocation(self, site: AllocSite) -> bool:
         rate = self.config.allocation_sample_rate
         if rate <= 1:
@@ -204,6 +242,31 @@ class RolpProfiler(NullProfiler):
         self._m_increments.inc()
         if not self.old_table.increment_alloc(context):
             self._m_increments_lost.inc()
+
+    def _on_allocation_fast(self, context: int, obj: SimObject) -> None:
+        """== :meth:`on_allocation` with the known-context check, the
+        loss draw and the row update inlined.  The RNG is consulted under
+        exactly the same conditions as ``increment_alloc``, preserving
+        the draw sequence."""
+        metrics_on = self._metrics_on
+        if metrics_on:
+            self._m_increments.inc()
+        table = self.old_table
+        if context == 0 or (context >> 16) & MASK_16 not in table.registered_sites:
+            if metrics_on:
+                self._m_increments_lost.inc()
+            return
+        p = table.increment_loss_probability
+        if p and table._rng.random() < p:
+            table.lost_increments += 1
+            if metrics_on:
+                self._m_increments_lost.inc()
+            return
+        rows = table._rows
+        row = rows.get(context)
+        if row is None:
+            rows[context] = row = [0] * NUM_AGES
+        row[0] += 1
 
     def call_site_enabled(self, site: CallSite) -> bool:
         return site.enabled
@@ -229,6 +292,34 @@ class RolpProfiler(NullProfiler):
         worker.record_survival(context, obj.age)
         self.survivals_recorded += 1
         self._m_survivals.inc()
+
+    def _on_gc_survivors_fast(self, objs: Sequence[SimObject], gc_threads: int) -> None:
+        """== the generic :meth:`on_gc_survivors` loop over
+        :meth:`on_gc_survivor`, with the header reads, validity checks
+        and worker buffering inlined; one batched counter update stands
+        in for the per-survivor increments (same total)."""
+        workers = self.workers
+        nworkers = len(workers)
+        registered = self.old_table.registered_sites
+        recorded = 0
+        discarded = 0
+        for index, obj in enumerate(objs):
+            header = obj.header
+            if header & BIASED_MASK:
+                discarded += 1
+                continue
+            context = (header >> CONTEXT_SHIFT) & MASK_32
+            if context == 0 or (context >> 16) & MASK_16 not in registered:
+                discarded += 1
+                continue
+            updates = workers[(index % gc_threads) % nworkers].updates
+            key = (context, (header & AGE_MASK) >> AGE_SHIFT)
+            updates[key] = updates.get(key, 0) + 1
+            recorded += 1
+        self.survivals_recorded += recorded
+        self.survivals_discarded += discarded
+        if recorded and self._metrics_on:
+            self._m_survivals.inc(recorded)
 
     def on_gc_end(self, gc_number: int, now_ns: int, pause_ns: float) -> None:
         merged_entries = 0

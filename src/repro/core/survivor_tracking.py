@@ -13,7 +13,8 @@ fresh lifetime data is needed.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import deque
+from typing import Deque, Optional
 
 
 class SurvivorTrackingController:
@@ -40,7 +41,10 @@ class SurvivorTrackingController:
         self.enabled = True
         #: average pause recorded the last time tracking was active
         self.baseline_pause_ns: Optional[float] = None
-        self._recent: List[float] = []
+        # deque(maxlen=...) evicts the oldest pause in O(1) instead of
+        # list.pop(0)'s O(window) shuffle; _average sums in the same
+        # oldest-to-newest order, so the float result is bit-identical.
+        self._recent: Deque[float] = deque(maxlen=window)
         self._stable_streak = 0
         self.shutdowns = 0
         self.reactivations = 0
@@ -50,8 +54,6 @@ class SurvivorTrackingController:
     def observe_pause(self, pause_ns: float) -> None:
         """Record a completed GC pause (called every cycle)."""
         self._recent.append(pause_ns)
-        if len(self._recent) > self.window:
-            self._recent.pop(0)
         if not self.enabled and self._regressed():
             self.enabled = True
             self.reactivations += 1

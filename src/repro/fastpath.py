@@ -1,0 +1,44 @@
+"""Global switch for the hot-path fast implementations.
+
+The performance pass (see docs/performance.md) keeps every optimised
+hot path next to its original *reference* implementation: components
+capture the switch at construction time and choose one or the other.
+The differential equivalence suite (tests/test_perf_equivalence.py) and
+the ``rolp-bench perf`` kernels run both and assert byte-identical
+behaviour, so the fast paths can default to on without moving any
+rendered figure or table.
+
+Semantics:
+
+* ``ROLP_FAST_PATHS=0`` in the environment disables the fast paths for
+  the whole process (any other value, or unset, enables them).
+* :func:`set_fast_paths` flips the process-wide default at runtime and
+  returns the previous value; only components constructed *after* the
+  flip observe it (VMs, profilers, collectors and OLD tables capture
+  the flag in ``__init__``), which keeps a running simulation on one
+  consistent implementation.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: process-wide default, captured by components at construction time
+ENABLED: bool = os.environ.get("ROLP_FAST_PATHS", "1") != "0"
+
+
+def fast_paths_enabled() -> bool:
+    """The current process-wide fast-path default."""
+    return ENABLED
+
+
+def set_fast_paths(enabled: bool) -> bool:
+    """Set the process-wide default; returns the previous value.
+
+    Tests toggle this around VM construction to run the reference and
+    fast implementations against each other.
+    """
+    global ENABLED
+    previous = ENABLED
+    ENABLED = bool(enabled)
+    return previous

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.analysis import NULL_VERIFIER
+from repro.fastpath import fast_paths_enabled
 from repro.heap.bandwidth import BandwidthModel
 from repro.heap.heap import RegionHeap, SimOutOfMemoryError
 from repro.heap.object_model import IMMORTAL, SimObject
@@ -74,6 +75,8 @@ class Collector:
         #: total bytes allocated through this collector
         self.bytes_allocated = 0
         self.verifier = NULL_VERIFIER
+        #: construction-time snapshot of the process fast-path switch
+        self._fast_paths = fast_paths_enabled()
         self.bind_telemetry(NULL_TELEMETRY)
 
     # -- wiring ---------------------------------------------------------------

@@ -54,8 +54,11 @@ class G1Collector(GenerationalCollector):
         # allocation volume once occupancy crosses the IHOP, like G1's
         # concurrent-cycle scheduling.
         pace_bytes = self.young_regions * self.heap.region_bytes
+        # One occupancy read serves both comparisons: nothing between
+        # them can change the committed-region count.
+        occupancy = self.heap.occupancy()
         if (
-            self.heap.occupancy() >= self.ihop
+            occupancy >= self.ihop
             and self.bytes_allocated - self._bytes_at_forced_cycle >= pace_bytes
         ):
             self._bytes_at_forced_cycle = self.bytes_allocated
@@ -63,7 +66,7 @@ class G1Collector(GenerationalCollector):
         else:
             # keep the pacing anchor moving while below the threshold so
             # an IHOP crossing does not immediately fire on stale volume
-            if self.heap.occupancy() < self.ihop:
+            if occupancy < self.ihop:
                 self._bytes_at_forced_cycle = self.bytes_allocated
 
     # -- mixed collections, run inside the young pause --------------------------

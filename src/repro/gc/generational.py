@@ -16,9 +16,13 @@ from __future__ import annotations
 
 from typing import Iterable, List, Tuple
 
+from repro.heap.header import AGE_MASK, AGE_SHIFT
 from repro.heap.object_model import SimObject
 from repro.heap.region import Region, Space
 from repro.gc.collector import Collector
+
+#: one age-field increment (the add grow_older performs while unsaturated)
+_AGE_ONE = 1 << AGE_SHIFT
 
 
 class GenerationalCollector(Collector):
@@ -58,6 +62,9 @@ class GenerationalCollector(Collector):
     # -- triggering -----------------------------------------------------------
 
     def _eden_full(self) -> bool:
+        if self._fast_paths:
+            # O(1) incrementally maintained count, == the region walk
+            return self.heap.region_count(Space.EDEN) >= self.young_regions
         return len(self.heap.regions_in(Space.EDEN)) >= self.young_regions
 
     def _maybe_collect(self) -> None:
@@ -91,18 +98,41 @@ class GenerationalCollector(Collector):
         # to-space (the simulator's analogue of G1's evacuation reserve).
         for region in sources:
             self.heap.release_region(region)
-        for index, obj in enumerate(survivors):
+        if self._fast_paths:
+            # Batched survivor profiling reads the same pre-aging headers
+            # as the interleaved per-object hook (profiling obj i never
+            # depends on obj j's aging), then a tight copy loop inlines
+            # grow_older and defers the breakdown update to one add.
             if tracking:
-                self.profiler.on_gc_survivor(index % gc_threads, obj)
-                profiled += 1
-            obj.grow_older()
-            obj.copies += 1
-            bytes_copied += obj.size
-            self.copy_breakdown["young"] += obj.size
-            if obj.age >= self.tenuring_threshold:
-                self._promote(obj)
-            else:
-                self.heap.allocate(obj, Space.SURVIVOR)
+                self.profiler.on_gc_survivors(survivors, gc_threads)
+                profiled = len(survivors)
+            threshold = self.tenuring_threshold
+            heap_allocate = self.heap.allocate
+            promote = self._promote
+            for obj in survivors:
+                header = obj.header
+                if (header & AGE_MASK) != AGE_MASK:
+                    obj.header = header = header + _AGE_ONE
+                obj.copies += 1
+                bytes_copied += obj.size
+                if (header & AGE_MASK) >> AGE_SHIFT >= threshold:
+                    promote(obj)
+                else:
+                    heap_allocate(obj, Space.SURVIVOR)
+            self.copy_breakdown["young"] += bytes_copied
+        else:
+            for index, obj in enumerate(survivors):
+                if tracking:
+                    self.profiler.on_gc_survivor(index % gc_threads, obj)
+                    profiled += 1
+                obj.grow_older()
+                obj.copies += 1
+                bytes_copied += obj.size
+                self.copy_breakdown["young"] += obj.size
+                if obj.age >= self.tenuring_threshold:
+                    self._promote(obj)
+                else:
+                    self.heap.allocate(obj, Space.SURVIVOR)
 
         extra_copied, extra_profiled = self._old_phase(now, tracking)
         bytes_copied += extra_copied
@@ -158,6 +188,22 @@ class GenerationalCollector(Collector):
         for region in regions:
             live.extend(o for o in region.objects if o.is_live(now_ns))
             self.heap.release_region(region)
+        if self._fast_paths:
+            # Same batched-profiling + inlined-aging shape as the young
+            # copy loop in collect_young; see the equivalence note there.
+            if tracking:
+                self.profiler.on_gc_survivors(live, gc_threads)
+                profiled = len(live)
+            heap_allocate = self.heap.allocate
+            for obj in live:
+                header = obj.header
+                if (header & AGE_MASK) != AGE_MASK:
+                    obj.header = header + _AGE_ONE
+                obj.copies += 1
+                bytes_copied += obj.size
+                heap_allocate(obj, dest, dest_gen)
+            self.copy_breakdown[breakdown_key] += bytes_copied
+            return bytes_copied, profiled
         for index, obj in enumerate(live):
             if tracking:
                 self.profiler.on_gc_survivor(index % gc_threads, obj)

@@ -59,12 +59,22 @@ class RegionHeap:
         #: high-water mark of committed (non-free) bytes
         self.max_committed_bytes = 0
         self._committed_regions = 0
+        #: humongous threshold, hoisted off the per-allocation path
+        self._humongous_bytes = region_bytes // 2
+        self._capacity_bytes = len(self.regions) * region_bytes
+        # Incrementally maintained per-space region counts.  Sound
+        # because a region's space only ever changes through
+        # claim_region (FREE -> space, via Region.retarget) and
+        # release_region (space -> FREE, via Region.reset); the heap
+        # verifier cross-checks these against a region walk.
+        self._space_counts: Dict[Space, int] = {space: 0 for space in Space}
+        self._space_counts[Space.FREE] = len(self.regions)
 
     # -- capacity -----------------------------------------------------------
 
     @property
     def capacity_bytes(self) -> int:
-        return len(self.regions) * self.region_bytes
+        return self._capacity_bytes
 
     @property
     def free_regions(self) -> int:
@@ -84,9 +94,18 @@ class RegionHeap:
             if r.space is space and (gen is None or r.gen == gen)
         ]
 
+    def region_count(self, space: Space) -> int:
+        """Number of regions currently in ``space``, O(1).
+
+        Equals ``len(self.regions_in(space))`` without the region-table
+        walk; the collectors' per-allocation triggering checks use this
+        on their fast path.
+        """
+        return self._space_counts[space]
+
     def occupancy(self) -> float:
         """Committed fraction of total heap capacity."""
-        return self.committed_bytes / self.capacity_bytes
+        return self._committed_regions * self.region_bytes / self._capacity_bytes
 
     # -- verifier views (read-only snapshots of internal state) --------------
 
@@ -109,7 +128,12 @@ class RegionHeap:
         region = self._free.pop()
         region.retarget(space, gen)
         self._committed_regions += 1
-        self.max_committed_bytes = max(self.max_committed_bytes, self.committed_bytes)
+        counts = self._space_counts
+        counts[Space.FREE] -= 1
+        counts[space] += 1
+        committed = self._committed_regions * self.region_bytes
+        if committed > self.max_committed_bytes:
+            self.max_committed_bytes = committed
         return region
 
     def release_region(self, region: Region) -> None:
@@ -119,6 +143,9 @@ class RegionHeap:
         key = (region.space, region.gen)
         if self._alloc_region.get(key) is region:
             del self._alloc_region[key]
+        counts = self._space_counts
+        counts[region.space] -= 1
+        counts[Space.FREE] += 1
         region.reset()
         self._free.append(region)
         self._committed_regions -= 1
@@ -145,7 +172,7 @@ class RegionHeap:
         """Allocate ``obj`` into ``space`` (bump pointer; claims regions
         as needed).  Humongous objects get dedicated regions.
         """
-        if self.is_humongous(obj.size):
+        if obj.size > self._humongous_bytes:  # == is_humongous(obj.size)
             return self._allocate_humongous(obj)
         key = (space, gen)
         region = self._alloc_region.get(key)

@@ -27,6 +27,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Death time meaning "still referenced; lifetime unknown/unbounded yet".
 IMMORTAL = float("inf")
 
+# Header field constants, bound locally: SimObject's header accessors
+# run once per object per GC cycle (millions of times per workload), so
+# they inline the bit operations instead of calling into the header
+# module.  The formulas are the same ones header.py defines; the
+# property suite pins the equivalence.
+_MASK_32 = hdr.MASK_32
+_CONTEXT_SHIFT = hdr.CONTEXT_SHIFT
+_AGE_MASK = hdr.AGE_MASK
+_AGE_SHIFT = hdr.AGE_SHIFT
+_AGE_ONE = 1 << hdr.AGE_SHIFT
+_BIASED_MASK = hdr.BIASED_MASK
+
 
 class SimObject:
     """A single simulated object.
@@ -67,7 +79,8 @@ class SimObject:
         self.size = int(size)
         self.alloc_time_ns = int(alloc_time_ns)
         self.death_time_ns = death_time_ns
-        self.header = hdr.fresh_header(context)
+        # == hdr.fresh_header(context), inlined for the allocation path
+        self.header = (context & _MASK_32) << _CONTEXT_SHIFT
         #: back-pointer to the region currently holding this object
         self.region: Optional["Region"] = None
         #: number of times the object has been copied by the GC
@@ -89,19 +102,22 @@ class SimObject:
 
     @property
     def age(self) -> int:
-        return hdr.get_age(self.header)
+        return (self.header & _AGE_MASK) >> _AGE_SHIFT
 
     @property
     def context(self) -> int:
-        return hdr.extract_context(self.header)
+        return (self.header >> _CONTEXT_SHIFT) & _MASK_32
 
     @property
     def biased_locked(self) -> bool:
-        return hdr.is_biased_locked(self.header)
+        return bool(self.header & _BIASED_MASK)
 
     def grow_older(self) -> None:
         """Survive one GC cycle (age saturates at :data:`header.MAX_AGE`)."""
-        self.header = hdr.increment_age(self.header)
+        # == hdr.increment_age(self.header), inlined for the copy loops
+        header = self.header
+        if (header & _AGE_MASK) != _AGE_MASK:
+            self.header = header + _AGE_ONE
 
     def bias_lock(self, thread_pointer: int) -> None:
         """Bias-lock toward a thread, clobbering the profiling context."""

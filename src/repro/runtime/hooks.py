@@ -82,6 +82,17 @@ class NullProfiler:
     def on_gc_survivor(self, worker_id: int, obj: "SimObject") -> None:
         """A live object survived the current collection (about to age)."""
 
+    def on_gc_survivors(self, objs, gc_threads: int) -> None:
+        """Batched form of :meth:`on_gc_survivor` for a whole survivor set.
+
+        The generic implementation delegates to the per-object hook with
+        the collectors' round-robin worker assignment, so subclasses that
+        override only :meth:`on_gc_survivor` stay correct; the ROLP
+        profiler overrides this wholesale on its fast path.
+        """
+        for index, obj in enumerate(objs):
+            self.on_gc_survivor(index % gc_threads, obj)
+
     def on_gc_end(self, gc_number: int, now_ns: int, pause_ns: float) -> None:
         """A stop-the-world cycle finished (worker tables merge here)."""
 

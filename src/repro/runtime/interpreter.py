@@ -23,10 +23,11 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.heap.header import MASK_16
 from repro.heap.object_model import IMMORTAL, SimObject
 from repro.runtime.exceptions import SimException
-from repro.runtime.method import CallSite, Method
-from repro.runtime.thread import SimThread
+from repro.runtime.method import AllocSite, CallSite, Method
+from repro.runtime.thread import Frame, SimThread
 
 #: default simulated cost of executing one method body's base work
 DEFAULT_CALL_OVERHEAD_NS = 20.0
@@ -143,3 +144,97 @@ class ExecutionContext:
             # entry was never profiled; model the transient corruption the
             # safepoint verifier (§7.2.3) exists to repair.
             self.thread.stack_state = (self.thread.stack_state + 0x5A5A) & 0xFFFF
+
+
+class FastExecutionContext(ExecutionContext):
+    """Hot-path twin of :class:`ExecutionContext`.
+
+    Selected by :class:`repro.runtime.vm.JavaVM` when fast paths are
+    enabled (see :mod:`repro.fastpath`).  The ``call``/``alloc``/``work``
+    bodies inline the site get-or-create, frame push/pop, invocation
+    counting and clock charges of the reference implementation; every
+    observable effect (clock advances, RNG draws, counters, stack-state
+    transitions, exception semantics) is event-for-event identical — the
+    differential perf kernels and the equivalence suite pin this.
+    """
+
+    __slots__ = ()
+
+    def work(self, ns: float) -> None:
+        vm = self.vm
+        vm.clock.advance_mutator(ns * vm.collector.mutator_overhead_factor)
+
+    def call(self, bci: int, method: Method, *args: Any, **kwargs: Any) -> Any:
+        vm = self.vm
+        thread = self.thread
+        frames = thread.frames
+
+        site: Optional[CallSite] = None
+        increment = 0
+        if frames:
+            caller = frames[-1].method
+            site = caller.call_sites.get(bci)
+            if site is None:
+                site = CallSite(caller, bci)
+                caller.call_sites[bci] = site
+            site.targets.add(method)
+            site.invocations += 1
+            if site.increment == 0:
+                if caller.compiled and not site.inlined:
+                    vm.jit.register_late_call_site(site)
+            # Uninstrumented sites return 0 from call_profiling_increment
+            # without charging anything; skip the call entirely.
+            if site.increment != 0 and not site.inlined:
+                increment = vm.call_profiling_increment(site)
+
+        jit = vm.jit
+        method.invocations += 1
+        if not method.compiled and method.invocations >= jit.compile_threshold:
+            jit.compile(method, vm.profiler)
+        vm.clock.advance_mutator(
+            DEFAULT_CALL_OVERHEAD_NS * vm.collector.mutator_overhead_factor
+        )
+
+        frame = Frame(method, site)
+        if increment:
+            thread.stack_state = (thread.stack_state + increment) & MASK_16
+            frame.contributed = increment
+        frames.append(frame)
+        try:
+            result = method.body(self, *args, **kwargs)
+        except SimException as exc:
+            thread.pop_frame(repair=vm.flags.fix_exception_unwind)
+            exc.unwound += 1
+            if exc.should_stop_at(exc.unwound):
+                return None  # handled here; execution resumes in caller
+            raise
+        else:
+            popped = frames.pop()
+            if popped.contributed:
+                thread.stack_state = (thread.stack_state - popped.contributed) & MASK_16
+            return result
+
+    def alloc(
+        self,
+        bci: int,
+        size: int,
+        lives_ns: Optional[float] = None,
+        gen_hint: int = 0,
+    ) -> SimObject:
+        thread = self.thread
+        frames = thread.frames
+        if not frames:
+            raise RuntimeError("allocation outside any method frame")
+        method = frames[-1].method
+        sites = method.alloc_sites
+        site = sites.get(bci)
+        if site is None:
+            site = AllocSite(method, bci)
+            sites[bci] = site
+        site.alloc_count += 1
+        vm = self.vm
+        if method.compiled and site.site_id == 0:
+            vm.jit.register_late_alloc_site(site, vm.profiler)
+
+        death = IMMORTAL if lives_ns is None else vm.clock.now_ns + lives_ns
+        return vm.allocate(thread, site, size, death, gen_hint)

@@ -1,0 +1,132 @@
+"""Differential equivalence suite for the hot-path optimisations.
+
+The fast paths (:mod:`repro.fastpath`) are pure reimplementations: with
+them enabled or disabled, every figure/table cell and every perf kernel
+must produce byte-identical results.  Three layers pin that down:
+
+* each perf kernel's fingerprint (counters, clock totals, OLD-table
+  checksums, stack states) matches between modes,
+* the rendered ``table1``/``fig6`` artifacts (stdout and ``--json-dir``
+  JSON) match between modes,
+* both modes survive a level-2 invariant verification
+  (``InvariantViolation``-free), and verification does not change the
+  kernel fingerprints.
+"""
+
+import contextlib
+import json
+
+import pytest
+
+from repro.analysis import set_default_verify_level
+from repro.bench import perf
+from repro.bench.cli import main
+from repro.fastpath import set_fast_paths
+
+SEED = 20260805
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch, tmp_path):
+    monkeypatch.setenv("ROLP_BENCH_SCALE", "0.02")
+    monkeypatch.setenv("ROLP_BENCH_CACHE_DIR", str(tmp_path / "cell-cache"))
+
+
+@contextlib.contextmanager
+def fast_mode(enabled):
+    previous = set_fast_paths(enabled)
+    try:
+        yield
+    finally:
+        set_fast_paths(previous)
+
+
+@contextlib.contextmanager
+def verify_level(level):
+    set_default_verify_level(level)
+    try:
+        yield
+    finally:
+        set_default_verify_level(0)
+
+
+def fingerprint_bytes(result):
+    """The fingerprint serialized the way BENCH_5.json stores it —
+    equality must hold at the byte level, not merely ``==``."""
+    return json.dumps(result["fingerprint"], sort_keys=True).encode()
+
+
+def rendered(capsys):
+    """Stdout minus the output-path echo lines (the only lines allowed
+    to differ between runs: they name run-specific tmp directories)."""
+    out = capsys.readouterr().out
+    return "".join(
+        line
+        for line in out.splitlines(keepends=True)
+        if " written to " not in line
+    )
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("kernel", perf.PERF_KERNELS)
+    def test_fingerprints_byte_identical(self, kernel):
+        ops = perf.kernel_ops(kernel)
+        reference = perf.run_kernel(kernel, SEED, ops, fast=False)
+        fast = perf.run_kernel(kernel, SEED, ops, fast=True)
+        assert fingerprint_bytes(reference) == fingerprint_bytes(fast)
+        # both modes performed the same number of operations
+        assert reference["ops"] == fast["ops"] > 0
+
+    @pytest.mark.parametrize("kernel", perf.PERF_KERNELS)
+    def test_fingerprints_stable_under_level2_verification(self, kernel):
+        """Level-2 verification raises InvariantViolation on any heap or
+        lock-discipline breakage; a clean run proves the optimised paths
+        keep every invariant, and the fingerprint proves verification
+        itself perturbs nothing."""
+        ops = perf.kernel_ops(kernel)
+        unverified = perf.run_kernel(kernel, SEED, ops, fast=True)
+        with verify_level(2):
+            verified_fast = perf.run_kernel(kernel, SEED, ops, fast=True)
+            verified_reference = perf.run_kernel(kernel, SEED, ops, fast=False)
+        assert fingerprint_bytes(verified_fast) == fingerprint_bytes(unverified)
+        assert fingerprint_bytes(verified_reference) == fingerprint_bytes(unverified)
+
+
+class TestArtifactEquivalence:
+    def run_cli(self, tmp_path, capsys, tag, argv, enabled):
+        json_dir = tmp_path / tag
+        with fast_mode(enabled):
+            assert main(argv + ["--no-cache", "--json-dir", str(json_dir)]) == 0
+        payloads = sorted(json_dir.glob("*.json"))
+        assert payloads, "no JSON artifact written"
+        return payloads[0].read_bytes(), rendered(capsys)
+
+    def test_table1_byte_identical_across_modes(self, tmp_path, capsys):
+        argv = ["table1", "--workloads", "lucene"]
+        slow_json, slow_text = self.run_cli(tmp_path, capsys, "ref", argv, False)
+        fast_json, fast_text = self.run_cli(tmp_path, capsys, "fast", argv, True)
+        assert fast_json == slow_json
+        assert fast_text == slow_text
+        assert "Table 1" in fast_text
+
+    def test_fig6_byte_identical_across_modes(self, tmp_path, capsys):
+        argv = ["fig6", "--benchmarks", "avrora"]
+        slow_json, slow_text = self.run_cli(tmp_path, capsys, "ref", argv, False)
+        fast_json, fast_text = self.run_cli(tmp_path, capsys, "fast", argv, True)
+        assert fast_json == slow_json
+        assert fast_text == slow_text
+        assert "Figure 6" in fast_text
+
+
+class TestVerifiedModes:
+    @pytest.mark.parametrize("enabled", [False, True], ids=["reference", "fast"])
+    def test_fig6_level2_verify_clean(self, capsys, enabled):
+        with fast_mode(enabled):
+            assert main(["fig6", "--benchmarks", "avrora", "--verify"]) == 0
+        assert "[verify] level 2: all invariant checks passed" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("enabled", [False, True], ids=["reference", "fast"])
+    def test_table1_level2_verify_clean(self, capsys, enabled):
+        with fast_mode(enabled):
+            assert main(["table1", "--workloads", "lucene", "--verify"]) == 0
+        assert "[verify] level 2: all invariant checks passed" in capsys.readouterr().err
