@@ -52,6 +52,7 @@ from typing import Dict, List, Optional
 
 from repro import COLLECTOR_NAMES
 from repro.analysis import InvariantViolation, set_default_verify_level
+from repro.analysis import pause_attribution
 from repro.bench import ablations, artifacts, figures, perf, tables
 from repro.bench.config import bench_scale
 from repro.bench.runner import (
@@ -69,7 +70,7 @@ from repro.bench.workload_registry import (
     run_big_workload,
 )
 from repro.metrics.report import render_table
-from repro.telemetry import TelemetrySession
+from repro.telemetry import FlightRecorder, TelemetrySession, resolve_capacity
 from repro.workloads.dacapo import SPEC_BY_NAME
 
 #: default on-disk cell cache (override with --cache-dir or the
@@ -220,6 +221,7 @@ def _run_experiments(
     workloads: Optional[List[str]],
     collectors: Optional[List[str]],
     specs,
+    explain_capacity: Optional[int] = None,
 ) -> None:
     """Run each experiment in ``todo``, printing its rendering and
     filling ``payloads`` (split out of :func:`main` so the verification
@@ -273,6 +275,17 @@ def _run_experiments(
             payloads["trace"] = artifacts.trace_payload(rows)
             print("[Trace] per-run summary (full trace via --trace-out)")
             print(render_trace_summary(rows))
+        elif experiment == "explain":
+            report = pause_attribution.explain(
+                workloads,
+                collectors,
+                capacity=explain_capacity,
+                runner=runner,
+                session=session,
+            )
+            payloads["explain"] = report
+            print("[Explain] per-pause root-cause attribution (tail vs overall)")
+            print(pause_attribution.render_report(report))
         elif experiment == "perf":
             study = perf.perf(session=session, runner=runner)
             payloads["perf"] = study
@@ -300,6 +313,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "fig10",
             "ablations",
             "trace",
+            "explain",
             "perf",
             "all",
         ],
@@ -379,10 +393,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="DIR",
         help="write one machine-readable JSON file per experiment",
     )
+    parser.add_argument(
+        "--flight-recorder",
+        nargs="?",
+        const=-1,
+        default=None,
+        type=int,
+        metavar="N",
+        help="enable the bounded always-on flight recorder (optionally "
+        "with an event capacity; bare flag = default capacity; also "
+        "switchable via ROLP_FLIGHT_RECORDER)",
+    )
+    parser.add_argument(
+        "--flight-out",
+        metavar="PATH",
+        help="dump the flight recording (JSONL) here at exit — and, on "
+        "an invariant violation, before aborting",
+    )
+    parser.add_argument(
+        "--report-out",
+        metavar="PATH",
+        default="pause_report.json",
+        help="where the explain experiment writes pause_report.json "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--trace-max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the --trace-out event buffer at N events (excess is "
+        "counted as dropped, not buffered)",
+    )
     args = parser.parse_args(argv)
 
     # Fail fast on unwritable output paths — before hours of runs.
-    for path in (args.trace_out, args.metrics_out):
+    for path in (args.trace_out, args.metrics_out, args.flight_out):
         if path:
             parent = os.path.dirname(path) or "."
             if not os.path.isdir(parent):
@@ -409,9 +455,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         else [args.experiment]
     )
 
+    recorder_capacity = resolve_capacity(args.flight_recorder)
+    recorder = (
+        FlightRecorder(recorder_capacity) if recorder_capacity is not None else None
+    )
+
     session: Optional[TelemetrySession] = None
-    if args.trace_out or args.metrics_out or "trace" in todo:
-        session = TelemetrySession()
+    wants_trace = bool(
+        args.trace_out or args.metrics_out or "trace" in todo or "explain" in todo
+    )
+    if wants_trace or recorder is not None:
+        # With only the recorder on, the unbounded sink never collects:
+        # bounded always-on recording stays bounded.
+        session = TelemetrySession(
+            flight_recorder=recorder,
+            max_trace_events=args.trace_max_events,
+            record_trace=wants_trace,
+        )
 
     runner = Runner(
         jobs=args.jobs,
@@ -437,10 +497,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     previous_verify = set_default_verify_level(args.verify)
     try:
         _run_experiments(
-            todo, runner, session, payloads, workloads, collectors, specs
+            todo,
+            runner,
+            session,
+            payloads,
+            workloads,
+            collectors,
+            specs,
+            explain_capacity=recorder_capacity,
         )
     except InvariantViolation as exc:
         print("rolp-bench: invariant violation: %s" % exc, file=sys.stderr)
+        if recorder is not None:
+            # Dump-on-violation: the recording leading up to the trip is
+            # exactly what a bounded flight recorder exists to preserve.
+            dump_path = args.flight_out or "rolp-violation.jfr.jsonl"
+            recorder.dump(dump_path)
+            print(
+                "rolp-bench: flight recording dumped to %s" % dump_path,
+                file=sys.stderr,
+            )
         return 3
     finally:
         set_default_verify_level(previous_verify)
@@ -470,6 +546,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace_out and session is not None:
         session.write_trace(args.trace_out)
         print("trace written to %s" % args.trace_out)
+    if args.flight_out and recorder is not None:
+        recorder.dump(args.flight_out)
+        print("flight recording written to %s" % args.flight_out)
+    if "explain" in payloads:
+        artifacts.write_json(args.report_out, payloads["explain"])
+        print("pause report written to %s" % args.report_out)
     if args.metrics_out:
         artifacts.write_json(
             args.metrics_out,
@@ -478,6 +560,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "scale": bench_scale(),
                 "experiments": payloads,
                 "runner": stats.as_dict(),
+                "trace_ids": runner.trace_ids,
+                "telemetry": (
+                    session.telemetry_counters() if session is not None else None
+                ),
                 "metrics": session.metrics.to_json() if session is not None else {},
             },
         )
@@ -487,7 +573,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         for experiment, payload in payloads.items():
             path = os.path.join(args.json_dir, "%s.json" % experiment)
             artifacts.write_json(
-                path, {"schema": artifacts.SCHEMA, "scale": bench_scale(), experiment: payload}
+                path,
+                {
+                    "schema": artifacts.SCHEMA,
+                    "scale": bench_scale(),
+                    "trace_ids": runner.trace_ids,
+                    experiment: payload,
+                },
             )
         print("per-experiment JSON written to %s" % args.json_dir)
     return 0

@@ -115,6 +115,20 @@ def derive_seed(key: str, base_seed: int = DEFAULT_BASE_SEED) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def derive_trace_id(key: str, seed: int) -> str:
+    """Fleet trace id for one cell execution: 16 hex chars over the
+    *full* cell key plus its derived seed.
+
+    Unlike :attr:`Cell.seed_key` (which deliberately collides across a
+    controlled comparison's treatments), the trace id must distinguish
+    every cell, so it hashes the complete key.  Any artifact carrying it
+    — trace events, metrics labels, ``pause_report.json``, cached
+    results — joins back to exactly one simulated run.
+    """
+    digest = hashlib.sha256(("trace\x00%d\x00%s" % (seed, key)).encode()).hexdigest()
+    return digest[:16]
+
+
 # ------------------------------------------------------------------- kind registry
 
 _CELL_KINDS: Dict[str, Callable[..., object]] = {}
@@ -257,6 +271,10 @@ class ResultCache:
                 {
                     "key_material": self.key_material(cell, seed),
                     "cell_key": cell.key,
+                    # fleet identity: the id every artifact of this cell
+                    # carries (load() ignores it, so old entries remain
+                    # valid — it is provenance, not key material)
+                    "trace_id": derive_trace_id(cell.key, seed),
                     "result": result,
                 },
                 handle,
@@ -317,6 +335,9 @@ class Runner:
         self.progress = progress
         self.stats = RunnerStats()
         self._memo: Dict[Cell, object] = {}
+        #: cell key -> trace id, for every cell this runner has seen —
+        #: exported into artifact JSONs so results join to recordings
+        self.trace_ids: Dict[str, str] = {}
 
     # -- telemetry ---------------------------------------------------------------
 
@@ -339,6 +360,9 @@ class Runner:
     def seed_for(self, cell: Cell) -> int:
         return derive_seed(cell.seed_key, self.base_seed)
 
+    def trace_id_for(self, cell: Cell) -> str:
+        return derive_trace_id(cell.key, self.seed_for(cell))
+
     def run(self, cells: Sequence[Cell]) -> List[object]:
         """Execute ``cells``, returning results in the given order.
 
@@ -350,6 +374,7 @@ class Runner:
         started = time.time()
         pending: List[Cell] = []  # unique cells needing execution, in order
         for cell in cells:
+            self.trace_ids.setdefault(cell.key, self.trace_id_for(cell))
             if cell in self._memo or cell in pending:
                 continue
             pending.append(cell)
@@ -386,9 +411,16 @@ class Runner:
 
     def _run_inline(self, cells: Sequence[Cell], total: int) -> None:
         for index, cell in enumerate(cells, 1):
+            trace_id = self.trace_id_for(cell)
             telemetry = (
-                self.session.for_run(cell.label) if self.session is not None else None
+                self.session.for_run(cell.label, trace_id=trace_id)
+                if self.session is not None
+                else None
             )
+            if self.session is not None:
+                self.session.metrics.counter(
+                    "bench_cell_runs_total", "cell executions, joinable by trace id"
+                ).inc(1, kind=cell.kind, trace_id=trace_id)
             cell_started = time.time()
             result = _execute(cell, self.seed_for(cell), telemetry=telemetry)
             self._note(index, total, cell, "ran", time.time() - cell_started)

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, List, Optional
 from repro.analysis import NULL_VERIFIER
 from repro.fastpath import fast_paths_enabled
 from repro.heap.bandwidth import BandwidthModel
+from repro.heap.header import AGE_MASK, AGE_SHIFT, CONTEXT_SHIFT, MASK_32
 from repro.heap.heap import RegionHeap, SimOutOfMemoryError
 from repro.heap.object_model import IMMORTAL, SimObject
 from repro.heap.region import Space
@@ -77,6 +78,9 @@ class Collector:
         self.verifier = NULL_VERIFIER
         #: construction-time snapshot of the process fast-path switch
         self._fast_paths = fast_paths_enabled()
+        #: (context, age) -> bytes copied since the last recorded pause;
+        #: filled only while tracing, read by the pause-attribution report
+        self._pause_contribs: dict = {}
         self.bind_telemetry(NULL_TELEMETRY)
 
     # -- wiring ---------------------------------------------------------------
@@ -145,6 +149,45 @@ class Collector:
 
     # -- pause bookkeeping ------------------------------------------------------------
 
+    #: contributions attached per pause span event are capped; the rest
+    #: is folded into a remainder bucket so attribution still sums to
+    #: the pause's copied bytes
+    PAUSE_CONTRIB_TOP_K = 48
+
+    def _attribute_copies(self, objs) -> None:
+        """Aggregate (allocation context, age class) -> bytes for the
+        objects about to be copied in this pause.
+
+        Must run *before* the copy loop mutates headers, so the fast and
+        reference paths (which age in different places) attribute the
+        same pre-aging state.  Guarded on the tracer so baseline runs
+        never touch it.
+        """
+        if not self.telemetry.tracer.enabled:
+            return
+        contribs = self._pause_contribs
+        for obj in objs:
+            header = obj.header
+            key = (
+                (header >> CONTEXT_SHIFT) & MASK_32,
+                (header & AGE_MASK) >> AGE_SHIFT,
+            )
+            contribs[key] = contribs.get(key, 0) + obj.size
+
+    def _take_contributions(self):
+        """Drain the per-pause aggregate into span-event args: the top-K
+        (context, age, bytes) rows by bytes plus a fold-in remainder."""
+        contribs = self._pause_contribs
+        if not contribs:
+            return []
+        ranked = sorted(contribs.items(), key=lambda kv: (-kv[1], kv[0]))
+        self._pause_contribs = {}
+        rows = [[context, age, size] for (context, age), size in ranked[: self.PAUSE_CONTRIB_TOP_K]]
+        remainder = sum(size for _, size in ranked[self.PAUSE_CONTRIB_TOP_K :])
+        if remainder:
+            rows.append([-1, -1, remainder])
+        return rows
+
     def _record_pause(
         self,
         kind: str,
@@ -182,6 +225,8 @@ class Collector:
                 gc_number=event.gc_number,
                 bytes_copied=bytes_copied,
                 survivors=survivors,
+                span_id="gc-%d/%s" % (event.gc_number, kind),
+                contributions=self._take_contributions(),
             )
             self._m_pauses.inc(1, collector=self.name, kind=kind)
             self._m_pause_ms.observe(event.duration_ms, collector=self.name)

@@ -94,6 +94,9 @@ class GenerationalCollector(Collector):
         bytes_copied = 0
         profiled = 0
         gc_threads = self.bandwidth.gc_threads
+        # Attribution reads the pre-aging headers, so it must precede
+        # both copy-loop variants (which age at different points).
+        self._attribute_copies(survivors)
         # Release sources first so their regions are available as
         # to-space (the simulator's analogue of G1's evacuation reserve).
         for region in sources:
@@ -188,6 +191,7 @@ class GenerationalCollector(Collector):
         for region in regions:
             live.extend(o for o in region.objects if o.is_live(now_ns))
             self.heap.release_region(region)
+        self._attribute_copies(live)
         if self._fast_paths:
             # Same batched-profiling + inlined-aging shape as the young
             # copy loop in collect_young; see the equivalence note there.

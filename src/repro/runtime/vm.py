@@ -92,6 +92,11 @@ class JavaVM:
         self.telemetry = telemetry or NULL_TELEMETRY
         self.telemetry.tracer.bind_clock(self.clock)
         self._telemetry_on = self.telemetry.enabled
+        # The hot alloc stream only exists when a bounded consumer (the
+        # flight recorder) asked for it; otherwise the hot paths carry a
+        # None and skip event construction entirely.
+        tracer = self.telemetry.tracer
+        self._rec_alloc = tracer.hot_instant if tracer.wants_hot_events else None
         metrics = self.telemetry.metrics
         self._m_allocations = metrics.counter(
             "vm_allocations_total", "Objects allocated, by allocation site"
@@ -233,6 +238,15 @@ class JavaVM:
                 1, site="%s@%d" % (site.method.qualified_name, site.bci)
             )
             self._m_alloc_bytes.inc(size)
+        if self._rec_alloc is not None:
+            self._rec_alloc(
+                "vm/alloc",
+                category="alloc",
+                tid=thread.thread_id,
+                site=site.site_id,
+                size=size,
+                context=context,
+            )
         return obj
 
     def _allocate_fast(
@@ -281,6 +295,15 @@ class JavaVM:
                 1, site="%s@%d" % (site.method.qualified_name, site.bci)
             )
             self._m_alloc_bytes.inc(size)
+        if self._rec_alloc is not None:
+            self._rec_alloc(
+                "vm/alloc",
+                category="alloc",
+                tid=thread.thread_id,
+                site=site.site_id,
+                size=size,
+                context=context,
+            )
         return obj
 
     # -- safepoints -----------------------------------------------------------------------
@@ -288,6 +311,13 @@ class JavaVM:
     def at_safepoint(self) -> None:
         """End-of-GC safepoint duties: verify/repair every thread's stack
         state against its real frame stack (Section 7.2.3)."""
+        if self._telemetry_on and self.telemetry.tracer.enabled:
+            self.telemetry.tracer.instant(
+                "vm/safepoint",
+                category="safepoint",
+                gc_number=self.collector.gc_cycles,
+                threads=len(self.threads),
+            )
         for thread in self.threads:
             thread.verify_and_repair()
         if self.verifier.enabled:

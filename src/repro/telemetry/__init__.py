@@ -17,6 +17,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.telemetry.flightrec import (
+    DEFAULT_CAPACITY as FLIGHT_RECORDER_DEFAULT_CAPACITY,
+    FlightRecorder,
+    RetentionPolicy,
+    capacity_from_env,
+    resolve_capacity,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -27,6 +34,7 @@ from repro.telemetry.metrics import (
 )
 from repro.telemetry.tracer import (
     NullTracer,
+    TeeTracer,
     TraceEvent,
     TraceSink,
     Tracer,
@@ -59,15 +67,54 @@ NULL_TELEMETRY = Telemetry()
 
 
 class TelemetrySession:
-    """Shared sink + registry across the runs of one bench invocation."""
+    """Shared sink + registry across the runs of one bench invocation.
 
-    def __init__(self) -> None:
-        self.sink = TraceSink()
+    ``flight_recorder`` (a :class:`FlightRecorder`) adds bounded
+    always-on recording alongside — or, with ``record_trace=False``,
+    instead of — the unbounded trace sink.  ``max_trace_events`` caps
+    the sink; events past the cap are counted, not buffered.
+    """
+
+    def __init__(
+        self,
+        flight_recorder: Optional[FlightRecorder] = None,
+        max_trace_events: Optional[int] = None,
+        record_trace: bool = True,
+    ) -> None:
+        self.sink = TraceSink(max_events=max_trace_events)
         self.metrics = MetricsRegistry()
+        self.flight_recorder = flight_recorder
+        self.record_trace = record_trace
 
-    def for_run(self, process_name: str = "") -> Telemetry:
-        """Telemetry for one VM run: fresh tracer track, shared metrics."""
-        return Telemetry(self.sink.tracer(process_name), self.metrics)
+    def for_run(self, process_name: str = "", trace_id: str = "") -> Telemetry:
+        """Telemetry for one VM run: fresh tracer track, shared metrics.
+
+        ``trace_id`` stamps every event the run records, joining the
+        trace/flight-recording back to the bench cell that produced it.
+        """
+        tracers = []
+        if self.record_trace:
+            tracers.append(self.sink.tracer(process_name, trace_id=trace_id))
+        if self.flight_recorder is not None:
+            tracers.append(self.flight_recorder.tracer(process_name, trace_id=trace_id))
+        if not tracers:
+            tracer: NullTracer = NullTracer()
+        elif len(tracers) == 1:
+            tracer = tracers[0]
+        else:
+            tracer = TeeTracer(tracers)
+        return Telemetry(tracer, self.metrics)
+
+    def telemetry_counters(self) -> dict:
+        """Bookkeeping surfaced under ``--metrics-out``: sink size/drops
+        and (when enabled) the flight recorder's bound-proving counters."""
+        return {
+            "trace_events": len(self.sink.events),
+            "trace_events_dropped": self.sink.dropped_events,
+            "flight_recorder": (
+                self.flight_recorder.counters() if self.flight_recorder is not None else None
+            ),
+        }
 
     def write_trace(self, path: str) -> None:
         self.sink.write_chrome(path)
@@ -81,6 +128,8 @@ class TelemetrySession:
 
 __all__ = [
     "Counter",
+    "FLIGHT_RECORDER_DEFAULT_CAPACITY",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -88,9 +137,13 @@ __all__ = [
     "NullMetrics",
     "NullTracer",
     "PAUSE_HISTOGRAM_BUCKETS_MS",
+    "RetentionPolicy",
     "Telemetry",
     "TelemetrySession",
+    "TeeTracer",
     "TraceEvent",
     "TraceSink",
     "Tracer",
+    "capacity_from_env",
+    "resolve_capacity",
 ]

@@ -1,0 +1,329 @@
+"""Always-on flight recorder: a bounded ring of recent runtime events.
+
+The PR 1 tracer buffers every event it sees, which is perfect for
+short diagnostic runs and hopeless for always-on use — a fig6-scale
+grid emits millions of alloc/call instants.  The flight recorder is the
+JFR-style answer the ROLP/NG2C papers assume from HotSpot: recording is
+*continuous* but memory is *fixed*, so the recorder can stay enabled in
+production-shaped runs and be dumped on demand (``--flight-out``) or on
+an invariant violation (the PR 3 verifier tripping).
+
+Two retention classes, two rings:
+
+* **critical** events (GC pauses, safepoints, JIT compiles, deopts,
+  ROLP profiler maintenance, verifier findings) are always kept; when
+  the critical ring fills, the *oldest* critical events fall off.
+* **hot** events (per-allocation / per-call instants, delivered via the
+  :meth:`~repro.telemetry.tracer.NullTracer.hot_instant` channel) are
+  deterministically sampled 1-in-``sample_every`` before entering the
+  smaller sampled ring.
+
+Events are stored as compact tuples, not :class:`TraceEvent` objects —
+materialisation happens only at dump time.  Everything is counted:
+``events_seen``, ``events_sampled_out``, ``events_evicted`` and the
+retained totals let tests (and the CI ``explain-smoke`` job) assert the
+memory bound instead of trusting it.
+
+Enable via ``--flight-recorder[=N]`` on ``rolp-bench`` or the
+``ROLP_FLIGHT_RECORDER`` environment variable (``0``/unset = off,
+``1`` = default capacity, any other integer = that many events).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .tracer import PHASE_INSTANT, PHASE_SPAN, NullTracer, TraceEvent, TraceSink
+
+#: total event slots (critical + sampled rings) when none is specified
+DEFAULT_CAPACITY = 65536
+
+#: environment switch mirrored by the ``--flight-recorder`` CLI flag
+ENV_VAR = "ROLP_FLIGHT_RECORDER"
+
+#: rough per-slot cost of one encoded tuple event (python object
+#: overhead dominates); used for the ``memory_bytes_estimate`` counter
+EVENT_ESTIMATE_BYTES = 200
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """What the recorder keeps versus samples.
+
+    ``keep_categories`` ride the critical ring un-sampled; everything
+    arriving on the hot channel is decimated 1-in-``sample_every`` by a
+    plain counter (no RNG — recording must never perturb simulation
+    determinism).  ``critical_fraction`` splits the total capacity
+    between the two rings.
+    """
+
+    keep_categories: frozenset = frozenset(
+        {"gc", "safepoint", "jit", "deopt", "rolp", "verify", "lock"}
+    )
+    sample_every: int = 8
+    critical_fraction: float = 0.75
+
+    def split(self, capacity: int) -> Tuple[int, int]:
+        """(critical slots, sampled slots) for a total ``capacity``."""
+        critical = max(1, int(capacity * self.critical_fraction))
+        critical = min(critical, capacity - 1) if capacity > 1 else capacity
+        return critical, max(0, capacity - critical)
+
+
+DEFAULT_POLICY = RetentionPolicy()
+
+# compact tuple layout (index -> field)
+_SEQ, _PHASE, _NAME, _TS, _DUR, _PID, _TID, _CAT, _TRACE, _SPAN, _ARGS = range(11)
+
+
+class _Ring:
+    """Fixed-capacity overwrite-oldest buffer of encoded events."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._slots: List[Optional[tuple]] = [None] * capacity
+        self._head = 0  # next write position
+        self.appended = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return min(self.appended, self.capacity)
+
+    def append(self, item: tuple) -> None:
+        if self.capacity == 0:
+            self.evicted += 1
+            return
+        if self.appended >= self.capacity:
+            self.evicted += 1
+        self._slots[self._head] = item
+        self._head = (self._head + 1) % self.capacity
+        self.appended += 1
+
+    def snapshot(self) -> List[tuple]:
+        """Retained events, oldest first."""
+        if self.appended < self.capacity:
+            return [s for s in self._slots[: self.appended]]
+        tail = self._slots[self._head :] + self._slots[: self._head]
+        return [s for s in tail if s is not None]
+
+
+class RecorderTracer(NullTracer):
+    """Tracer facade writing compact tuples into a :class:`FlightRecorder`.
+
+    One per VM run, like :meth:`TraceSink.tracer` — it owns a pid in the
+    eventual dump and stamps every event with the run's ``trace_id``.
+    """
+
+    enabled = True
+    wants_hot_events = True
+
+    def __init__(self, recorder: "FlightRecorder", pid: int, clock=None, trace_id: str = "") -> None:
+        self.recorder = recorder
+        self.pid = pid
+        self.trace_id = trace_id
+        self._clock = clock
+
+    def bind_clock(self, clock) -> None:
+        if self._clock is None:
+            self._clock = clock
+
+    def _now(self, ts_ns: Optional[int]) -> int:
+        if ts_ns is not None:
+            return int(ts_ns)
+        return self._clock.now_ns if self._clock is not None else 0
+
+    def _encode(self, phase, name, ts_ns, dur_ns, tid, category, args) -> tuple:
+        span_id = str(args.pop("span_id", ""))
+        recorder = self.recorder
+        seq = recorder._next_seq
+        recorder._next_seq = seq + 1
+        return (
+            seq,
+            phase,
+            name,
+            ts_ns,
+            dur_ns,
+            self.pid,
+            tid,
+            category,
+            self.trace_id,
+            span_id,
+            tuple(sorted(args.items())),
+        )
+
+    def hot_instant(self, name, ts_ns=None, category="", tid=0, **args) -> None:
+        self.recorder.record_hot(
+            self._encode(PHASE_INSTANT, name, self._now(ts_ns), 0.0, tid, category, args)
+        )
+
+    def instant(self, name, ts_ns=None, category="", tid=0, **args) -> None:
+        self.recorder.record(
+            self._encode(PHASE_INSTANT, name, self._now(ts_ns), 0.0, tid, category, args)
+        )
+
+    def span(self, name, start_ns, duration_ns, category="", tid=0, **args) -> None:
+        self.recorder.record(
+            self._encode(PHASE_SPAN, name, int(start_ns), float(duration_ns), tid, category, args)
+        )
+
+
+class FlightRecorder:
+    """Bounded always-on event recorder shared by the runs of one session."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        policy: RetentionPolicy = DEFAULT_POLICY,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive (got %r)" % capacity)
+        self.capacity = capacity
+        self.policy = policy
+        critical_slots, sampled_slots = policy.split(capacity)
+        self._critical = _Ring(critical_slots)
+        self._sampled = _Ring(sampled_slots)
+        self.process_names: Dict[int, str] = {}
+        self._next_pid = 1
+        self._next_seq = 0
+        self.events_seen = 0
+        self.events_sampled_out = 0
+        self._hot_counter = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def tracer(self, process_name: str = "", clock=None, trace_id: str = "") -> RecorderTracer:
+        """A new per-run tracer recording into this recorder."""
+        pid = self._next_pid
+        self._next_pid += 1
+        self.process_names[pid] = process_name or ("run-%d" % pid)
+        return RecorderTracer(self, pid=pid, clock=clock, trace_id=trace_id)
+
+    def record(self, encoded: tuple) -> None:
+        """Route one encoded event by its category's retention class."""
+        self.events_seen += 1
+        if encoded[_CAT] in self.policy.keep_categories:
+            self._critical.append(encoded)
+        else:
+            self._record_sampled(encoded)
+
+    def record_hot(self, encoded: tuple) -> None:
+        """The high-frequency alloc/call channel: always sampled."""
+        self.events_seen += 1
+        self._record_sampled(encoded)
+
+    def _record_sampled(self, encoded: tuple) -> None:
+        self._hot_counter += 1
+        if self.policy.sample_every > 1 and self._hot_counter % self.policy.sample_every:
+            self.events_sampled_out += 1
+            return
+        self._sampled.append(encoded)
+
+    # -- accounting ---------------------------------------------------------
+
+    def retained(self) -> int:
+        return len(self._critical) + len(self._sampled)
+
+    def counters(self) -> Dict[str, int]:
+        """Bound-proving counters, exported under ``--metrics-out``."""
+        retained = self.retained()
+        return {
+            "capacity": self.capacity,
+            "retained": retained,
+            "retained_critical": len(self._critical),
+            "retained_sampled": len(self._sampled),
+            "events_seen": self.events_seen,
+            "events_sampled_out": self.events_sampled_out,
+            "events_evicted": self._critical.evicted + self._sampled.evicted,
+            "memory_bytes_estimate": retained * EVENT_ESTIMATE_BYTES,
+        }
+
+    # -- dumping ------------------------------------------------------------
+
+    def events(self) -> List[TraceEvent]:
+        """Retained events materialised as :class:`TraceEvent`, time order."""
+        encoded = self._critical.snapshot() + self._sampled.snapshot()
+        encoded.sort(key=lambda e: (e[_TS], e[_SEQ]))
+        return [
+            TraceEvent(
+                name=e[_NAME],
+                phase=e[_PHASE],
+                ts_ns=e[_TS],
+                dur_ns=e[_DUR],
+                pid=e[_PID],
+                tid=e[_TID],
+                category=e[_CAT],
+                args=dict(e[_ARGS]),
+                trace_id=e[_TRACE],
+                span_id=e[_SPAN],
+            )
+            for e in encoded
+        ]
+
+    def to_sink(self) -> TraceSink:
+        """The retained window as a TraceSink, reusing its exporters."""
+        sink = TraceSink()
+        sink.process_names.update(self.process_names)
+        sink.events.extend(self.events())
+        return sink
+
+    def to_chrome(self) -> Dict[str, object]:
+        return self.to_sink().to_chrome()
+
+    def to_jsonl(self) -> str:
+        return self.to_sink().to_jsonl()
+
+    def write_chrome(self, path: str) -> None:
+        self.to_sink().write_chrome(path)
+
+    def write_jsonl(self, path: str) -> None:
+        self.to_sink().write_jsonl(path)
+
+    def dump(self, path: str) -> None:
+        """Dump-on-demand / dump-on-violation entry point (JSONL plus a
+        trailing counters line, so a dump is self-describing)."""
+        sink = self.to_sink()
+        with open(path, "w") as handle:
+            text = sink.to_jsonl()
+            if text:
+                handle.write(text + "\n")
+            handle.write(json.dumps({"flight_recorder": self.counters()}, sort_keys=True) + "\n")
+
+
+def capacity_from_env(environ=None) -> Optional[int]:
+    """Recorder capacity requested via ``ROLP_FLIGHT_RECORDER``.
+
+    ``None`` means off; ``1`` (or any truthy non-integer like ``on``)
+    selects :data:`DEFAULT_CAPACITY`; any larger integer is a capacity.
+    """
+    environ = os.environ if environ is None else environ
+    raw = environ.get(ENV_VAR, "").strip()
+    if raw in ("", "0", "off", "false"):
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_CAPACITY
+    if value <= 0:
+        return None
+    if value == 1:
+        return DEFAULT_CAPACITY
+    return value
+
+
+def resolve_capacity(cli_value: Optional[int], environ=None) -> Optional[int]:
+    """Merge the CLI flag with the environment switch.
+
+    ``cli_value`` is ``None`` when ``--flight-recorder`` was absent
+    (environment decides), ``-1`` for the bare flag (default capacity)
+    and a positive integer for ``--flight-recorder=N``.
+    """
+    if cli_value is None:
+        return capacity_from_env(environ)
+    if cli_value == -1 or cli_value == 1:
+        return DEFAULT_CAPACITY
+    if cli_value <= 0:
+        return None
+    return cli_value

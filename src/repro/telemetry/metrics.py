@@ -141,6 +141,33 @@ class Histogram:
     def count(self, **labels) -> int:
         return sum(self._counts.get(_key(labels), ()))
 
+    def percentile(self, q: float, **labels) -> float:
+        """Estimate the ``q``-th percentile (0–100) for one label set.
+
+        Linear interpolation within the containing bucket, taking the
+        previous bucket edge (or 0) as the lower bound.  Values that
+        landed in the open overflow bucket are clamped to the last
+        finite edge — the histogram cannot resolve beyond it.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100] (got %r)" % q)
+        counts = self._counts.get(_key(labels))
+        if counts is None:
+            return 0.0
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        rank = q / 100.0 * total
+        cumulative = 0
+        lower = 0.0
+        for edge, count in zip(self.buckets, counts):
+            if cumulative + count >= rank and count > 0:
+                fraction = (rank - cumulative) / count
+                return lower + (edge - lower) * max(0.0, min(1.0, fraction))
+            cumulative += count
+            lower = edge
+        return self.buckets[-1]
+
     def samples(self) -> Iterator[Tuple[_LabelKey, List[int], float]]:
         for key in sorted(self._counts):
             yield key, self._counts[key], self._sums[key]
@@ -232,6 +259,9 @@ class MetricsRegistry:
         }
 
     def to_prometheus(self) -> str:
+        # Ordering contract: instruments sort by name and samples sort by
+        # rendered label key, so the exposition text is byte-stable across
+        # runs regardless of increment order — diffable in CI artifacts.
         lines: List[str] = []
         for instrument in self.instruments():
             if instrument.help:

@@ -40,9 +40,21 @@ class TraceEvent:
     tid: int = 0
     category: str = ""
     args: Dict[str, object] = field(default_factory=dict)
+    #: fleet identity: the cell trace id this event belongs to ("" when
+    #: the run is not part of a bench grid) and an optional per-event
+    #: span id (e.g. ``gc-12/young``) joinable from pause reports
+    trace_id: str = ""
+    span_id: str = ""
 
     def to_chrome(self) -> Dict[str, object]:
         """This event as a Chrome ``trace_event`` dict (ts/dur in µs)."""
+        args = dict(self.args)
+        # Chrome's viewer surfaces args per slice; the ids ride there so
+        # documents without them stay byte-for-byte what they were.
+        if self.trace_id:
+            args["trace_id"] = self.trace_id
+        if self.span_id:
+            args["span_id"] = self.span_id
         event: Dict[str, object] = {
             "name": self.name,
             "ph": self.phase,
@@ -50,7 +62,7 @@ class TraceEvent:
             "pid": self.pid,
             "tid": self.tid,
             "cat": self.category or "repro",
-            "args": dict(self.args),
+            "args": args,
         }
         if self.phase == PHASE_SPAN:
             event["dur"] = self.dur_ns / 1e3
@@ -68,6 +80,8 @@ class TraceEvent:
             "pid": self.pid,
             "tid": self.tid,
             "category": self.category,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
             "args": dict(self.args),
         }
 
@@ -76,9 +90,25 @@ class NullTracer:
     """Does nothing; costs nothing.  The default on every VM."""
 
     enabled = False
+    #: whether this tracer wants the *hot* event stream (per-allocation
+    #: and per-call instants).  Only bounded consumers — the flight
+    #: recorder's sampling ring — opt in; the unbounded TraceSink never
+    #: does, so ``--trace-out`` files stay proportional to GC activity.
+    wants_hot_events = False
 
     def bind_clock(self, clock) -> None:
         """Attach the simulated clock used for implicit timestamps."""
+
+    def hot_instant(
+        self,
+        name: str,
+        ts_ns: Optional[int] = None,
+        category: str = "",
+        tid: int = 0,
+        **args,
+    ) -> None:
+        """High-frequency instant (alloc/call streams).  Dropped unless
+        the tracer opted in via :attr:`wants_hot_events`."""
 
     def instant(
         self,
@@ -108,19 +138,35 @@ class TraceSink:
     Each VM run records through its own :class:`Tracer` (its own
     process id in the exported trace); the sink owns the combined event
     list and the exporters.
+
+    ``max_events`` (optional) bounds the buffer: once full, further
+    events are counted in :attr:`dropped_events` instead of silently
+    growing memory — the cap for long always-on invocations where the
+    full trace is not the point (the flight recorder's ring is the
+    retention-aware alternative).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_events: Optional[int] = None) -> None:
         self.events: List[TraceEvent] = []
         self.process_names: Dict[int, str] = {}
+        self.max_events = max_events
+        #: events refused because the buffer reached ``max_events``
+        self.dropped_events = 0
         self._next_pid = 1
 
-    def tracer(self, process_name: str = "", clock=None) -> "Tracer":
+    def tracer(self, process_name: str = "", clock=None, trace_id: str = "") -> "Tracer":
         """A new tracer writing into this sink under a fresh pid."""
         pid = self._next_pid
         self._next_pid += 1
         self.process_names[pid] = process_name or ("run-%d" % pid)
-        return Tracer(self, pid=pid, clock=clock)
+        return Tracer(self, pid=pid, clock=clock, trace_id=trace_id)
+
+    def append(self, event: TraceEvent) -> None:
+        """Buffer one event, honouring the ``max_events`` cap."""
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(event)
 
     # -- exporters ----------------------------------------------------------
 
@@ -170,6 +216,7 @@ class Tracer(NullTracer):
         sink: Optional[TraceSink] = None,
         pid: int = 1,
         clock=None,
+        trace_id: str = "",
     ) -> None:
         if sink is None:
             sink = TraceSink()
@@ -177,6 +224,7 @@ class Tracer(NullTracer):
             sink._next_pid = pid + 1
         self.sink = sink
         self.pid = pid
+        self.trace_id = trace_id
         self._clock = clock
 
     @property
@@ -201,7 +249,8 @@ class Tracer(NullTracer):
         tid: int = 0,
         **args,
     ) -> None:
-        self.sink.events.append(
+        span_id = str(args.pop("span_id", ""))
+        self.sink.append(
             TraceEvent(
                 name=name,
                 phase=PHASE_INSTANT,
@@ -210,6 +259,8 @@ class Tracer(NullTracer):
                 tid=tid,
                 category=category,
                 args=args,
+                trace_id=self.trace_id,
+                span_id=span_id,
             )
         )
 
@@ -222,7 +273,8 @@ class Tracer(NullTracer):
         tid: int = 0,
         **args,
     ) -> None:
-        self.sink.events.append(
+        span_id = str(args.pop("span_id", ""))
+        self.sink.append(
             TraceEvent(
                 name=name,
                 phase=PHASE_SPAN,
@@ -232,5 +284,42 @@ class Tracer(NullTracer):
                 tid=tid,
                 category=category,
                 args=args,
+                trace_id=self.trace_id,
+                span_id=span_id,
             )
         )
+
+
+class TeeTracer(NullTracer):
+    """Fans one event stream out to several tracers.
+
+    Used when a run records into both the trace sink (``--trace-out``)
+    and the flight recorder: components bind one tracer, and the tee
+    forwards.  ``wants_hot_events`` is the OR of the children, so the
+    hot alloc/call stream is built only when some child keeps it.
+    """
+
+    enabled = True
+
+    def __init__(self, children) -> None:
+        self.children = list(children)
+        self.wants_hot_events = any(
+            getattr(child, "wants_hot_events", False) for child in self.children
+        )
+
+    def bind_clock(self, clock) -> None:
+        for child in self.children:
+            child.bind_clock(clock)
+
+    def hot_instant(self, name, ts_ns=None, category="", tid=0, **args) -> None:
+        for child in self.children:
+            if getattr(child, "wants_hot_events", False):
+                child.hot_instant(name, ts_ns=ts_ns, category=category, tid=tid, **args)
+
+    def instant(self, name, ts_ns=None, category="", tid=0, **args) -> None:
+        for child in self.children:
+            child.instant(name, ts_ns=ts_ns, category=category, tid=tid, **args)
+
+    def span(self, name, start_ns, duration_ns, category="", tid=0, **args) -> None:
+        for child in self.children:
+            child.span(name, start_ns, duration_ns, category=category, tid=tid, **args)

@@ -202,6 +202,49 @@ class TestResultCache:
         assert warm_results == cold_results
 
 
+class TestTraceIds:
+    def test_derivation_is_deterministic_and_key_sensitive(self):
+        from repro.bench.runner import derive_trace_id
+
+        tid = derive_trace_id(echo("a").key, DEFAULT_BASE_SEED)
+        assert tid == derive_trace_id(echo("a").key, DEFAULT_BASE_SEED)
+        assert len(tid) == 16
+        assert int(tid, 16) >= 0  # hex
+        assert tid != derive_trace_id(echo("b").key, DEFAULT_BASE_SEED)
+        assert tid != derive_trace_id(echo("a").key, DEFAULT_BASE_SEED + 1)
+
+    def test_unlike_seeds_trace_ids_differ_across_treatments(self):
+        """seed_scope collapses the *seed* across treatments; the trace id
+        must still tell the cells apart (it hashes the full key)."""
+        a = make_cell("scoped_test", subject="s", treatment="x")
+        b = make_cell("scoped_test", subject="s", treatment="y")
+        runner = Runner()
+        runner.run([a, b])
+        assert runner.seed_for(a) == runner.seed_for(b)
+        assert runner.trace_ids[a.key] != runner.trace_ids[b.key]
+
+    def test_runner_records_ids_even_for_cached_cells(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cell = echo("warm-id")
+        cold = Runner(cache=cache)
+        cold.run([cell])
+        warm = Runner(cache=cache)
+        warm.run([cell])
+        assert warm.stats.simulations == 0
+        assert warm.trace_ids[cell.key] == cold.trace_ids[cell.key]
+
+    def test_cache_payload_carries_the_trace_id(self, tmp_path):
+        from repro.bench.runner import derive_trace_id
+
+        cache = ResultCache(str(tmp_path))
+        cell, seed = echo("stamped"), 77
+        cache.store(cell, seed, "ok")
+        with open(cache.path(cell, seed), "rb") as handle:
+            entry = pickle.load(handle)
+        assert entry["trace_id"] == derive_trace_id(cell.key, seed)
+        assert cache.load(cell, seed) == (True, "ok")
+
+
 class TestPool:
     def test_parallel_results_match_serial_in_order(self, tmp_path):
         cells = [echo(tag, value=i) for i, tag in enumerate("abcd")]

@@ -99,6 +99,46 @@ class TestTracer:
         doc = json.loads(path.read_text())
         assert any(e.get("name") == "x" for e in doc["traceEvents"])
 
+    def test_max_events_cap_counts_drops(self):
+        sink = TraceSink(max_events=2)
+        tracer = sink.tracer()
+        for i in range(5):
+            tracer.instant("e%d" % i, ts_ns=i)
+        assert len(sink.events) == 2
+        assert sink.dropped_events == 3
+        assert [e.name for e in sink.events] == ["e0", "e1"]
+
+    def test_trace_id_stamped_on_every_event(self):
+        sink = TraceSink()
+        tracer = sink.tracer("r", trace_id="abc123")
+        tracer.instant("x", ts_ns=1)
+        tracer.span("y", 2, 3)
+        assert all(e.trace_id == "abc123" for e in sink.events)
+        jsonl = [json.loads(line) for line in sink.to_jsonl().splitlines()]
+        assert all(d["trace_id"] == "abc123" for d in jsonl)
+
+    def test_ids_default_empty_and_keep_chrome_args_clean(self):
+        sink = TraceSink()
+        tracer = sink.tracer()
+        tracer.instant("x", ts_ns=1, detail="d")
+        event = sink.events[0]
+        assert event.trace_id == "" and event.span_id == ""
+        chrome = event.to_chrome()
+        # empty ids never appear in chrome args: old documents stay
+        # byte-for-byte what they were
+        assert "trace_id" not in chrome["args"]
+        assert "span_id" not in chrome["args"]
+        jsonl = event.to_jsonl()
+        assert jsonl["trace_id"] == "" and jsonl["span_id"] == ""
+
+    def test_span_id_kwarg_moves_to_field(self):
+        sink = TraceSink()
+        sink.tracer().span("gc/young", 0, 10, span_id="gc-1/young", collector="g1")
+        event = sink.events[0]
+        assert event.span_id == "gc-1/young"
+        assert event.args == {"collector": "g1"}
+        assert event.to_chrome()["args"]["span_id"] == "gc-1/young"
+
 
 class TestMetrics:
     def test_counter_labels(self):
@@ -175,6 +215,44 @@ class TestMetrics:
         path = tmp_path / "metrics.prom"
         registry.write_prometheus(str(path))
         assert "c 1" in path.read_text()
+
+    def test_prometheus_lines_sorted_regardless_of_insert_order(self):
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        samples = [("zeta", "g1"), ("alpha", "rolp"), ("mid", "cms")]
+        for name, collector in samples:
+            forward.counter(name).inc(1, collector=collector)
+            forward.histogram("h", buckets=(1.0,)).observe(0.5, collector=collector)
+        for name, collector in reversed(samples):
+            backward.counter(name).inc(1, collector=collector)
+            backward.histogram("h", buckets=(1.0,)).observe(0.5, collector=collector)
+        assert forward.to_prometheus() == backward.to_prometheus()
+
+    def test_histogram_percentile_interpolates_within_bucket(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(10.0, 20.0))
+        for value in (5.0, 15.0, 15.0, 15.0):
+            histogram.observe(value)
+        # rank 2 of 4 -> 25% into the 3 observations of the (10, 20]
+        # bucket after the first bucket's single count
+        assert histogram.percentile(50.0) == pytest.approx(10.0 + 10.0 / 3)
+        assert histogram.percentile(0.0) == 0.0
+        assert histogram.percentile(25.0) == pytest.approx(10.0)
+
+    def test_histogram_percentile_edge_cases(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        assert histogram.percentile(99.0) == 0.0  # no observations
+        histogram.observe(100.0)  # overflow bucket
+        assert histogram.percentile(99.0) == 10.0  # clamped to last edge
+        with pytest.raises(ValueError):
+            histogram.percentile(101.0)
+
+    def test_histogram_percentile_respects_labels(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(0.5, collector="g1")
+        histogram.observe(9.0, collector="rolp")
+        assert histogram.percentile(100.0, collector="g1") <= 1.0
+        assert histogram.percentile(100.0, collector="rolp") > 1.0
+        assert histogram.percentile(50.0) == 0.0  # unlabeled set is empty
 
 
 class TestNullDefaults:
