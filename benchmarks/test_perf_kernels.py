@@ -3,8 +3,9 @@
 Opt-in (``ROLP_PERF=1``): wall-clock assertions are meaningless on a
 loaded CI box or an unknown machine, so by default the whole module
 skips.  When enabled, each kernel runs once (the simulated runs are
-deterministic — see conftest) in fast mode and its ns/op is compared
-against ``perf_baseline.json`` with a ±30% guard: slower means a
+deterministic — see conftest) under each optimised backend (``fast``
+and ``compiled``) and its ns/op is compared against the per-backend
+entry in ``perf_baseline.json`` with a ±50% guard: slower means a
 regression crept into a hot path, dramatically faster usually means the
 kernel stopped exercising what it used to.
 
@@ -14,8 +15,9 @@ change::
     ROLP_PERF=1 ROLP_UPDATE_PERF_BASELINE=1 \
         python -m pytest benchmarks/test_perf_kernels.py
 
-The differential correctness of the kernels (fast vs reference) is
-pinned by tests/test_perf_equivalence.py, which always runs.
+The differential correctness of the kernels (reference vs fast vs
+compiled) is pinned by tests/test_perf_equivalence.py, which always
+runs.
 """
 
 import json
@@ -32,8 +34,18 @@ pytestmark = pytest.mark.skipif(
 )
 
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "perf_baseline.json")
-TOLERANCE = 0.30
+TOLERANCE = 0.50
+#: absolute slack: kernels that vectorise down to a handful of numpy
+#: calls measure in single-digit ns/op, where the ratio is all timer
+#: noise — anything within this absolute band always passes
+ABS_SLACK_NS = 50.0
 SEED = 1234
+#: median-of-N inside run_kernel smooths single-sample scheduler noise
+REPEAT = 5
+
+#: the optimised backends the guard watches (reference is the
+#: measurement baseline inside BENCH_6, not a regression target)
+GUARDED_BACKENDS = ("fast", "compiled")
 
 
 def load_baseline():
@@ -41,12 +53,12 @@ def load_baseline():
         return json.load(handle)
 
 
-def bless(kernel, result):
+def bless(kernel, backend, result):
     try:
         doc = load_baseline()
     except (OSError, ValueError):
-        doc = {"schema": "rolp-perf-baseline/v1", "kernels": {}}
-    doc["kernels"][kernel] = {
+        doc = {"schema": "rolp-perf-baseline/v2", "kernels": {}}
+    doc.setdefault("kernels", {}).setdefault(kernel, {})[backend] = {
         "ns_per_op": round(result["ns_per_op"], 1),
         "ops": result["ops"],
         "scale": bench_scale(),
@@ -56,25 +68,29 @@ def bless(kernel, result):
         handle.write("\n")
 
 
+@pytest.mark.parametrize("backend", GUARDED_BACKENDS)
 @pytest.mark.parametrize("kernel", perf.PERF_KERNELS)
-def test_kernel_within_baseline(benchmark, kernel):
+def test_kernel_within_baseline(benchmark, kernel, backend):
     ops = perf.kernel_ops(kernel)
     result = benchmark.pedantic(
-        perf.run_kernel, args=(kernel, SEED, ops, True), rounds=1
+        perf.run_kernel, args=(kernel, SEED, ops, backend, REPEAT), rounds=1
     )
     if os.environ.get("ROLP_UPDATE_PERF_BASELINE") == "1":
-        bless(kernel, result)
-        pytest.skip("baseline re-blessed for %s" % kernel)
-    baseline = load_baseline()["kernels"][kernel]["ns_per_op"]
-    ratio = result["ns_per_op"] / baseline
+        bless(kernel, backend, result)
+        pytest.skip("baseline re-blessed for %s/%s" % (kernel, backend))
+    baseline = load_baseline()["kernels"][kernel][backend]["ns_per_op"]
+    measured = result["ns_per_op"]
+    if abs(measured - baseline) <= ABS_SLACK_NS:
+        return
+    ratio = measured / baseline
     assert ratio <= 1 + TOLERANCE, (
-        "%s regressed: %.0f ns/op vs baseline %.0f (%.0f%% slower); if "
+        "%s/%s regressed: %.0f ns/op vs baseline %.0f (%.0f%% slower); if "
         "intentional, re-bless with ROLP_UPDATE_PERF_BASELINE=1"
-        % (kernel, result["ns_per_op"], baseline, (ratio - 1) * 100)
+        % (kernel, backend, measured, baseline, (ratio - 1) * 100)
     )
     assert ratio >= 1 - TOLERANCE, (
-        "%s is suspiciously fast: %.0f ns/op vs baseline %.0f — check the "
-        "kernel still exercises the path, then re-bless with "
+        "%s/%s is suspiciously fast: %.0f ns/op vs baseline %.0f — check "
+        "the kernel still exercises the path, then re-bless with "
         "ROLP_UPDATE_PERF_BASELINE=1"
-        % (kernel, result["ns_per_op"], baseline)
+        % (kernel, backend, measured, baseline)
     )

@@ -222,6 +222,7 @@ def _run_experiments(
     collectors: Optional[List[str]],
     specs,
     explain_capacity: Optional[int] = None,
+    perf_repeat: int = 1,
 ) -> None:
     """Run each experiment in ``todo``, printing its rendering and
     filling ``payloads`` (split out of :func:`main` so the verification
@@ -287,9 +288,9 @@ def _run_experiments(
             print("[Explain] per-pause root-cause attribution (tail vs overall)")
             print(pause_attribution.render_report(report))
         elif experiment == "perf":
-            study = perf.perf(session=session, runner=runner)
+            study = perf.perf(session=session, runner=runner, repeat=perf_repeat)
             payloads["perf"] = study
-            print("[Perf] hot-path microbenchmarks, fast vs reference paths")
+            print("[Perf] hot-path microbenchmarks across execution backends")
             print(perf.render_perf(study))
             os.makedirs(os.path.dirname(perf.BENCH_JSON), exist_ok=True)
             artifacts.write_json(perf.BENCH_JSON, study)
@@ -377,6 +378,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run invariant verification inside every simulation: 1 walks "
         "the heap at GC boundaries, 2 adds the biased-lock discipline "
         "checker (bare --verify means 2); a violation exits with status 3",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="perf experiment only: re-time each (kernel, backend) cell "
+        "N times (fresh fixture per run) and report the median ns/op "
+        "plus the coefficient of variation (default: 1)",
     )
     parser.add_argument(
         "--trace-out",
@@ -505,6 +515,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             collectors,
             specs,
             explain_capacity=recorder_capacity,
+            perf_repeat=max(1, args.repeat),
         )
     except InvariantViolation as exc:
         print("rolp-bench: invariant violation: %s" % exc, file=sys.stderr)

@@ -2,25 +2,34 @@
 
 Five named kernels time the simulator's hottest code paths — allocation,
 method entry/exit, survivor tracking, header pack/unpack and the full-GC
-copy loop — once through the *reference* implementations (fast paths
-disabled) and once through the *optimised* ones (fast paths enabled; see
-:mod:`repro.fastpath`).  Each kernel is driven by the experiment runner
-as a pair of ``perf_kernel`` cells sharing one derived seed (the
-``fast`` flag is a treatment parameter), so both modes replay the
-identical workload and the kernel doubles as a differential test: every
-cell returns a *fingerprint* of the simulation's observable state
-(counters, clocks, table checksums), and the two modes must produce
-byte-identical fingerprints.
+copy loop — once per execution backend (``reference``, ``fast``,
+``compiled``; see :mod:`repro.fastpath`).  Each kernel is driven by the
+experiment runner as a triple of ``perf_kernel`` cells sharing one
+derived seed (the ``backend`` is a treatment parameter), so every
+backend replays the identical workload and the kernel doubles as a
+differential test: every cell returns a *fingerprint* of the
+simulation's observable state (counters, clocks, table checksums), and
+all backends must produce byte-identical fingerprints.
+
+The workload bodies are authored as :class:`MethodProgram` op arrays,
+so the reference and fast backends replay them through the ordinary
+``ctx.*`` entry points while the compiled backend executes them in the
+table-dispatch loop (:mod:`repro.runtime.dispatch`) — same op stream,
+three execution strategies.
 
 Timing cells are deliberately **never cached**: a wall-clock measurement
 replayed from a previous run's cache entry is not a measurement.  The
-fast-path flag still participates in the shared result-cache key (see
+backend still participates in the shared result-cache key (see
 ``ResultCache.key_material``) so the figure/table equivalence suite can
-populate both modes side by side.
+populate every backend side by side.
 
-``perf()`` returns the ``BENCH_5.json`` payload: per kernel, the
-reference timing (the pre-optimisation baseline), the fast timing, the
-speedup and the fingerprint verdict, plus the process's peak RSS.
+``perf()`` returns the ``BENCH_6.json`` payload: per kernel, the
+reference timing (the pre-optimisation baseline), the fast and compiled
+timings, both speedups and the fingerprint verdict, plus the process's
+peak RSS.  With ``repeat > 1`` each (kernel, backend) cell rebuilds its
+fixture and re-times ``repeat`` times; reported ``ns_per_op`` is the
+median and ``cv`` the coefficient of variation (population stdev /
+mean) across runs, so noisy hosts are visible in the artifact.
 
 Wall-clock use (``time.perf_counter``) is legitimate here: the bench
 package is harness scope, outside the determinism lint's simulation-core
@@ -31,6 +40,7 @@ from __future__ import annotations
 
 import random
 import resource
+import statistics
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -44,15 +54,22 @@ from repro.bench.runner import (
     shared_seed_scope,
 )
 from repro.core.profiler import RolpConfig, RolpProfiler
-from repro.fastpath import fast_paths_enabled, set_fast_paths
+from repro.fastpath import BACKENDS, backend, set_backend
 from repro.gc.g1 import G1Collector
 from repro.heap import header as hdr
 from repro.heap.bandwidth import BandwidthModel
 from repro.heap.heap import RegionHeap
 from repro.heap.object_model import IMMORTAL, SimObject
+from repro.heap.soa import HAVE_NUMPY
 from repro.metrics.report import render_table
 from repro.runtime.method import Method
+from repro.runtime.program import ProgramBuilder
 from repro.runtime.vm import JavaVM, VMFlags
+
+try:  # pragma: no cover - numpy is part of the baked toolchain
+    import numpy as _np
+except ImportError:  # pragma: no cover - degraded environments
+    _np = None
 
 #: the kernel catalogue, in print order (docs/performance.md documents
 #: exactly what each one exercises)
@@ -68,7 +85,7 @@ _BASE_OPS = {
 }
 
 #: default artifact path for the CLI's ``perf`` experiment
-BENCH_JSON = "bench_results/BENCH_5.json"
+BENCH_JSON = "bench_results/BENCH_6.json"
 
 
 def kernel_ops(kernel: str) -> int:
@@ -96,14 +113,17 @@ def _table_checksum(table) -> int:
 # measured); only ``run`` is timed.  The fingerprint must cover every
 # observable the optimisations could have perturbed: clock totals
 # (float repr — bit equality, not tolerance), RNG-dependent counters,
-# table contents, stack states.
+# table contents, stack states.  The ambient backend (set by
+# :func:`run_kernel` before fixture construction) selects the execution
+# strategy; the op stream is identical under all of them.
 
 KernelRun = Callable[[], Tuple[int, Dict[str, object]]]
 
 
 def _kernel_alloc(seed: int, ops: int) -> KernelRun:
-    """The allocation path: ``ctx.alloc`` → context resolution → sampling
-    → collector placement → header install → OLD-table increment."""
+    """The allocation path: table-indexed ``ALLOC_T`` → context
+    resolution → sampling → collector placement → header install →
+    OLD-table increment."""
     rng = random.Random(seed)
     sizes = [rng.choice((64, 128, 192, 256, 384, 512)) for _ in range(997)]
     lives = [rng.choice((5_000, 50_000, 500_000)) for _ in range(991)]
@@ -115,12 +135,13 @@ def _kernel_alloc(seed: int, ops: int) -> KernelRun:
     )
     thread = vm.spawn_thread("bench")
 
-    def body(ctx, start, count):
-        for i in range(count):
-            j = start + i
-            ctx.alloc(j % 7, sizes[j % 997], lives[j % 991])
-
-    method = Method("allocLoop", "bench.perf.Alloc", body, bytecode_size=120)
+    # body(ctx, start, count): for i in range(count): j = start + i;
+    # ctx.alloc(j % 7, sizes[j % 997], lives[j % 991])
+    builder = ProgramBuilder("allocLoop", nregs=2)
+    builder.repeat(1, 0)
+    builder.alloc_table(7, sizes, lives, 0)
+    builder.end_repeat()
+    method = Method("allocLoop", "bench.perf.Alloc", builder.build(), bytecode_size=120)
 
     def run() -> Tuple[int, Dict[str, object]]:
         done = 0
@@ -145,7 +166,9 @@ def _kernel_alloc(seed: int, ops: int) -> KernelRun:
 
 def _kernel_call(seed: int, ops: int) -> KernelRun:
     """Method entry/exit: call-site bookkeeping, the stack-state add/sub
-    slow path (mode ``slow``), frame push/pop, JIT invocation counting."""
+    slow path (mode ``slow``), frame push/pop, JIT invocation counting.
+    The compiled backend executes the whole four-level call tree in one
+    dispatch frame."""
     vm, _ = build_vm(
         "rolp",
         heap_mb=64,
@@ -154,26 +177,27 @@ def _kernel_call(seed: int, ops: int) -> KernelRun:
     )
     thread = vm.spawn_thread("bench")
 
-    def leaf_body(ctx):
-        return None
-
     # bytecode_size > inline_max_size keeps every site out of inlining,
     # so each carries a real stack-state increment once jitted
-    leaf_a = Method("leafA", "bench.perf.Call", leaf_body, bytecode_size=100)
-    leaf_b = Method("leafB", "bench.perf.Call", leaf_body, bytecode_size=100)
-
-    def mid_body(ctx):
-        ctx.call(1, leaf_a)
-        ctx.call(2, leaf_b)
-
-    mid = Method("mid", "bench.perf.Call", mid_body, bytecode_size=100)
-
-    def root_body(ctx, count):
-        for _ in range(count):
-            ctx.call(1, mid)
-            ctx.call(2, mid)
-
-    root = Method("root", "bench.perf.Call", root_body, bytecode_size=100)
+    leaf_a = Method(
+        "leafA", "bench.perf.Call", ProgramBuilder("leafA").build(), bytecode_size=100
+    )
+    leaf_b = Method(
+        "leafB", "bench.perf.Call", ProgramBuilder("leafB").build(), bytecode_size=100
+    )
+    mid = Method(
+        "mid",
+        "bench.perf.Call",
+        ProgramBuilder("mid").call(1, leaf_a).call(2, leaf_b).build(),
+        bytecode_size=100,
+    )
+    # root(ctx, count): for _ in range(count): ctx.call(1, mid); ctx.call(2, mid)
+    root_builder = ProgramBuilder("root", nregs=2)
+    root_builder.repeat(0, 1)
+    root_builder.call(1, mid)
+    root_builder.call(2, mid)
+    root_builder.end_repeat()
+    root = Method("root", "bench.perf.Call", root_builder.build(), bytecode_size=100)
     # each root-body iteration performs 6 dynamic calls (2 mid + 4 leaf)
     iterations = max(1, ops // 6)
 
@@ -202,7 +226,9 @@ def _kernel_call(seed: int, ops: int) -> KernelRun:
 def _kernel_survivor(seed: int, ops: int) -> KernelRun:
     """Survivor tracking: the per-GC-worker buffering of survival
     records plus the end-of-pause merge into the OLD table (including
-    the periodic inference pass)."""
+    the periodic inference pass).  The compiled backend feeds the same
+    headers through the vectorized column scan
+    (:meth:`~repro.core.profiler.RolpProfiler.on_gc_survivors_soa`)."""
     rng = random.Random(seed)
     profiler = RolpProfiler(RolpConfig(gc_workers=4))
     table = profiler.old_table
@@ -220,9 +246,23 @@ def _kernel_survivor(seed: int, ops: int) -> KernelRun:
         objs.append(obj)
     batches = max(1, ops // len(objs))
 
+    if backend() == "compiled" and HAVE_NUMPY:
+        # the column scan consumes raw headers; same words, same order
+        headers = _np.fromiter(
+            (obj.header for obj in objs), _np.uint64, count=len(objs)
+        )
+
+        def scan() -> None:
+            profiler.on_gc_survivors_soa(headers, 4)
+
+    else:
+
+        def scan() -> None:
+            profiler.on_gc_survivors(objs, 4)
+
     def run() -> Tuple[int, Dict[str, object]]:
         for gc_number in range(1, batches + 1):
-            profiler.on_gc_survivors(objs, 4)
+            scan()
             profiler.on_gc_end(gc_number, gc_number * 1_000_000, 1_000_000.0)
         return batches * len(objs), {
             "table": _table_checksum(table),
@@ -238,15 +278,41 @@ def _kernel_survivor(seed: int, ops: int) -> KernelRun:
 def _kernel_header(seed: int, ops: int) -> KernelRun:
     """Header bit manipulation: the age increment and fresh-header
     construction the copy and allocation loops lean on.  The fast mode
-    times the optimised functions, the reference mode their ``*_reference``
-    twins; the accumulator proves they compute the same words."""
+    times the optimised scalar functions, the reference mode their
+    ``*_reference`` twins, the compiled mode a vectorized column sweep;
+    the accumulator proves they all compute the same words."""
     rng = random.Random(seed)
     headers = [rng.getrandbits(64) for _ in range(4_096)]
     contexts = [rng.getrandbits(32) for _ in range(4_096)]
-    if fast_paths_enabled():
-        increment, fresh = hdr.increment_age, hdr.fresh_header
-    else:
+    if backend() == "compiled" and HAVE_NUMPY:
+        header_col = _np.array(headers, dtype=_np.uint64)
+        context_col = _np.array(contexts, dtype=_np.uint64)
+        age_mask = _np.uint64(hdr.AGE_MASK)
+        age_one = _np.uint64(1 << hdr.AGE_SHIFT)
+
+        def run() -> Tuple[int, Dict[str, object]]:
+            # per-op term: increment_age(headers[j]) + fresh_header(contexts[j]);
+            # modular addition is associative, so the checksum over `ops`
+            # wrap-around passes is full_passes * column_sum + partial_sum
+            aged = _np.where(
+                (header_col & age_mask) != age_mask, header_col + age_one, header_col
+            )
+            fresh = (context_col & _np.uint64(hdr.MASK_32)) << _np.uint64(
+                hdr.CONTEXT_SHIFT
+            )
+            terms = aged + fresh  # uint64: wraps mod 2**64 like the scalar loop
+            full_passes, remainder = divmod(ops, len(headers))
+            accumulator = (
+                full_passes * int(terms.sum(dtype=_np.uint64))
+                + int(terms[:remainder].sum(dtype=_np.uint64))
+            ) & hdr.MASK_64
+            return ops, {"checksum": accumulator}
+
+        return run
+    if backend() == "reference":
         increment, fresh = hdr.increment_age_reference, hdr.fresh_header_reference
+    else:
+        increment, fresh = hdr.increment_age, hdr.fresh_header
 
     def run() -> Tuple[int, Dict[str, object]]:
         accumulator = 0
@@ -263,7 +329,9 @@ def _kernel_header(seed: int, ops: int) -> KernelRun:
 def _kernel_gc_copy(seed: int, ops: int) -> KernelRun:
     """The young-GC copy loop: survivor profiling, aging, re-placement.
     A tenuring threshold above ``MAX_AGE`` pins every object in survivor
-    space, so each forced collection re-copies the full live set."""
+    space, so each forced collection re-copies the full live set.  Under
+    the compiled backend the live set resides in SoA columns and the
+    sweep vectorizes (:mod:`repro.heap.soa`)."""
     rng = random.Random(seed)
     heap = RegionHeap(64 << 20, 256 << 10)
     collector = G1Collector(
@@ -274,12 +342,12 @@ def _kernel_gc_copy(seed: int, ops: int) -> KernelRun:
     thread = vm.spawn_thread("bench")
     sizes = [rng.choice((96, 128, 160, 192, 256)) for _ in range(997)]
 
-    def body(ctx, start, count):
-        for i in range(count):
-            j = start + i
-            ctx.alloc(j % 5, sizes[j % 997])  # immortal: survives every GC
-
-    method = Method("fill", "bench.perf.Copy", body, bytecode_size=120)
+    # fill(ctx, start, count): immortal allocs — survive every GC
+    builder = ProgramBuilder("fill", nregs=2)
+    builder.repeat(1, 0)
+    builder.alloc_table(5, sizes, None, 0)
+    builder.end_repeat()
+    method = Method("fill", "bench.perf.Copy", builder.build(), bytecode_size=120)
     live_objects = 16_000
     done = 0
     while done < live_objects:
@@ -314,41 +382,64 @@ _KERNEL_FNS = {
 }
 
 
-def run_kernel(kernel: str, seed: int, ops: int, fast: bool) -> Dict[str, object]:
-    """Run one kernel in one mode; the building block the cell kind and
-    the differential tests share.
+def run_kernel(
+    kernel: str, seed: int, ops: int, backend_name: str = "fast", repeat: int = 1
+) -> Dict[str, object]:
+    """Run one kernel under one backend; the building block the cell
+    kind and the differential tests share.
 
-    The process-global fast-path switch is flipped for the duration so
-    every component constructed inside captures the requested mode, then
-    restored.  Fixture setup runs inside the switch window (components
-    snapshot the mode at construction) but outside the timed region.
+    The process-global backend switch is flipped for the duration so
+    every component constructed inside captures the requested backend,
+    then restored.  Fixture setup runs inside the switch window
+    (components snapshot the backend at construction) but outside the
+    timed region; with ``repeat > 1`` the fixture is rebuilt per run so
+    runs are independent and fingerprints must agree.
     """
-    previous = set_fast_paths(bool(fast))
+    repeat = max(1, int(repeat))
+    previous = set_backend(backend_name)
+    fingerprint: Optional[Dict[str, object]] = None
+    ops_done = 0
+    ns_per_op_runs: List[float] = []
     try:
-        run = _KERNEL_FNS[kernel](seed, ops)
-        started = time.perf_counter()
-        ops_done, fingerprint = run()
-        elapsed = max(time.perf_counter() - started, 1e-9)
+        for index in range(repeat):
+            run = _KERNEL_FNS[kernel](seed, ops)
+            started = time.perf_counter()
+            ops_done, run_fingerprint = run()
+            elapsed = max(time.perf_counter() - started, 1e-9)
+            ns_per_op_runs.append(elapsed * 1e9 / ops_done)
+            if fingerprint is None:
+                fingerprint = run_fingerprint
+            elif run_fingerprint != fingerprint:
+                raise AssertionError(
+                    "kernel %r run %d diverged from run 0 under backend %s"
+                    % (kernel, index, backend_name)
+                )
     finally:
-        set_fast_paths(previous)
+        set_backend(previous)
+    ns_per_op = statistics.median(ns_per_op_runs)
+    mean = statistics.fmean(ns_per_op_runs)
+    cv = statistics.pstdev(ns_per_op_runs) / mean if repeat > 1 and mean else 0.0
     return {
         "kernel": kernel,
-        "fast": bool(fast),
+        "backend": backend_name,
         "ops": ops_done,
-        "elapsed_s": elapsed,
-        "ops_per_s": ops_done / elapsed,
-        "ns_per_op": elapsed * 1e9 / ops_done,
+        "repeat": repeat,
+        "elapsed_s": ns_per_op * ops_done / 1e9,
+        "ops_per_s": 1e9 / ns_per_op,
+        "ns_per_op": ns_per_op,
+        "ns_per_op_runs": ns_per_op_runs,
+        "cv": cv,
         "fingerprint": fingerprint,
     }
 
 
 @cell_kind(
     "perf_kernel",
-    track=lambda p: "perf/%s/%s" % (p["kernel"], "fast" if p["fast"] else "reference"),
-    seed_scope=shared_seed_scope("perf_kernel", "fast"),
+    track=lambda p: "perf/%s/%s" % (p["kernel"], p["backend"]),
+    seed_scope=shared_seed_scope("perf_kernel", "backend", "repeat"),
 )
-def _perf_cell(seed, telemetry, kernel, ops, fast):
-    return run_kernel(kernel, seed, ops, fast)
+def _perf_cell(seed, telemetry, kernel, ops, backend, repeat=1):
+    return run_kernel(kernel, seed, ops, backend, repeat)
 
 
 # ------------------------------------------------------------------- experiment
@@ -357,8 +448,10 @@ def perf(
     kernels: Optional[Sequence[str]] = None,
     session=None,
     runner: Optional[Runner] = None,
+    repeat: int = 1,
 ) -> Dict[str, object]:
-    """Run every kernel through both modes; return the BENCH_5 payload.
+    """Run every kernel through all three backends; return the BENCH_6
+    payload.
 
     ``runner`` supplies seed/progress settings, but the timing cells
     always execute uncached (see the module docstring) and sequentially:
@@ -380,25 +473,42 @@ def perf(
         progress=runner.progress if runner is not None else False,
     )
     cells = [
-        make_cell("perf_kernel", kernel=name, ops=kernel_ops(name), fast=fast)
+        make_cell(
+            "perf_kernel",
+            kernel=name,
+            ops=kernel_ops(name),
+            backend=backend_name,
+            repeat=max(1, int(repeat)),
+        )
         for name in names
-        for fast in (False, True)
+        for backend_name in BACKENDS
     ]
     results = timing_runner.run(cells)
+    width = len(BACKENDS)
     kernels_payload: Dict[str, object] = {}
     for index, name in enumerate(names):
-        reference, fast = results[2 * index], results[2 * index + 1]
+        by_backend = dict(zip(BACKENDS, results[width * index : width * (index + 1)]))
+        reference = by_backend["reference"]
         kernels_payload[name] = {
             "reference": _timing(reference),
-            "fast": _timing(fast),
-            "speedup": fast["ops_per_s"] / reference["ops_per_s"],
-            "fingerprint_match": reference["fingerprint"] == fast["fingerprint"],
+            "fast": _timing(by_backend["fast"]),
+            "compiled": _timing(by_backend["compiled"]),
+            "speedup": {
+                "fast": by_backend["fast"]["ops_per_s"] / reference["ops_per_s"],
+                "compiled": by_backend["compiled"]["ops_per_s"]
+                / reference["ops_per_s"],
+            },
+            "fingerprint_match": all(
+                by_backend[b]["fingerprint"] == reference["fingerprint"]
+                for b in BACKENDS
+            ),
             "fingerprint": reference["fingerprint"],
         }
     return {
         "schema": "rolp-bench/v1",
         "experiment": "perf",
         "scale": bench_scale(),
+        "repeat": max(1, int(repeat)),
         "rss_max_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "kernels": kernels_payload,
     }
@@ -407,9 +517,12 @@ def perf(
 def _timing(result: Dict[str, object]) -> Dict[str, object]:
     return {
         "ops": result["ops"],
+        "repeat": result["repeat"],
         "elapsed_s": result["elapsed_s"],
         "ops_per_s": result["ops_per_s"],
         "ns_per_op": result["ns_per_op"],
+        "ns_per_op_runs": result["ns_per_op_runs"],
+        "cv": result["cv"],
     }
 
 
@@ -423,11 +536,22 @@ def render_perf(payload: Dict[str, object]) -> str:
                 entry["reference"]["ops"],
                 "%.0f" % entry["reference"]["ns_per_op"],
                 "%.0f" % entry["fast"]["ns_per_op"],
-                "%.2fx" % entry["speedup"],
+                "%.0f" % entry["compiled"]["ns_per_op"],
+                "%.2fx" % entry["speedup"]["fast"],
+                "%.2fx" % entry["speedup"]["compiled"],
                 "yes" if entry["fingerprint_match"] else "NO — DIVERGED",
             ]
         )
     return render_table(
-        ["kernel", "ops", "ref ns/op", "fast ns/op", "speedup", "equivalent"],
+        [
+            "kernel",
+            "ops",
+            "ref ns/op",
+            "fast ns/op",
+            "compiled ns/op",
+            "fast speedup",
+            "compiled speedup",
+            "equivalent",
+        ],
         rows,
     )

@@ -41,11 +41,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import default_verify_level, set_default_verify_level
 from repro.bench.config import bench_scale
-from repro.fastpath import fast_paths_enabled, set_fast_paths
+from repro.fastpath import backend, set_backend
 
 #: bump when a cell implementation changes meaning — invalidates every
 #: cached result produced by older code
-CACHE_VERSION = "rolp-bench-cache/v3"
+CACHE_VERSION = "rolp-bench-cache/v4"
 
 #: default base seed; per-cell seeds are derived from it, never used raw
 DEFAULT_BASE_SEED = 42
@@ -196,16 +196,16 @@ def _execute(cell: Cell, seed: int, telemetry=None):
     return fn(seed=seed, telemetry=telemetry, **dict(cell.params))
 
 
-def _pool_execute(payload: Tuple[Cell, int, int, bool]):
+def _pool_execute(payload: Tuple[Cell, int, int, str]):
     """Worker-side entry point (module-level so it pickles).
 
-    Carries the ambient verify level and fast-path switch explicitly:
+    Carries the ambient verify level and execution backend explicitly:
     fork workers inherit them, but spawn workers start from a fresh
     interpreter where the defaults would silently revert.
     """
-    cell, seed, verify_level, fast = payload
+    cell, seed, verify_level, backend_name = payload
     set_default_verify_level(verify_level)
-    set_fast_paths(fast)
+    set_backend(backend_name)
     return _execute(cell, seed, telemetry=None)
 
 
@@ -231,10 +231,10 @@ class ResultCache:
         # goldens), but verified and unverified runs must never share
         # cache entries — a verified run that hit an unverified entry
         # would claim checks it never performed.
-        # The fast-path switch is in the key for the same reason: the
-        # optimised and reference paths are proven equivalent, but the
-        # differential suite must be able to populate both sides without
-        # one mode's entries masking the other's actual execution.
+        # The execution backend is in the key for the same reason: the
+        # optimised and reference backends are proven equivalent, but the
+        # differential suite must be able to populate every side without
+        # one backend's entries masking another's actual execution.
         return "\n".join(
             (
                 CACHE_VERSION,
@@ -242,7 +242,7 @@ class ResultCache:
                 "seed=%d" % seed,
                 "scale=%r" % bench_scale(),
                 "verify=%d" % default_verify_level(),
-                "fast=%d" % fast_paths_enabled(),
+                "backend=%s" % backend(),
             )
         )
 
@@ -437,7 +437,7 @@ class Runner:
             "fork" if "fork" in methods else None
         )
         payloads = [
-            (cell, self.seed_for(cell), default_verify_level(), fast_paths_enabled())
+            (cell, self.seed_for(cell), default_verify_level(), backend())
             for cell in cells
         ]
         total = len(cells)

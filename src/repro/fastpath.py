@@ -1,44 +1,97 @@
-"""Global switch for the hot-path fast implementations.
+"""Global switch for the hot-path execution backends.
 
 The performance pass (see docs/performance.md) keeps every optimised
 hot path next to its original *reference* implementation: components
 capture the switch at construction time and choose one or the other.
 The differential equivalence suite (tests/test_perf_equivalence.py) and
-the ``rolp-bench perf`` kernels run both and assert byte-identical
-behaviour, so the fast paths can default to on without moving any
-rendered figure or table.
+the ``rolp-bench perf`` kernels run every backend against the reference
+and assert byte-identical behaviour, so the fast paths can default to on
+without moving any rendered figure or table.
+
+Three backends exist:
+
+* ``"reference"`` — the original, maximally readable implementations;
+* ``"fast"`` — the PR 4 inlined twins (``FastExecutionContext``,
+  batched survivor profiling, O(1) heap counters, ...);
+* ``"compiled"`` — the fast paths plus the table-dispatch interpreter
+  for :class:`~repro.runtime.program.MethodProgram` bodies and the
+  array-of-structs heap hot state (:mod:`repro.heap.soa`).
 
 Semantics:
 
-* ``ROLP_FAST_PATHS=0`` in the environment disables the fast paths for
-  the whole process (any other value, or unset, enables them).
-* :func:`set_fast_paths` flips the process-wide default at runtime and
+* ``ROLP_BACKEND=reference|fast|compiled`` selects the backend for the
+  whole process; when unset, ``ROLP_FAST_PATHS=0`` selects
+  ``"reference"`` and anything else (or unset) selects ``"fast"``.
+* :func:`set_backend` flips the process-wide default at runtime and
   returns the previous value; only components constructed *after* the
   flip observe it (VMs, profilers, collectors and OLD tables capture
-  the flag in ``__init__``), which keeps a running simulation on one
+  the switch in ``__init__``), which keeps a running simulation on one
   consistent implementation.
+* :func:`set_fast_paths` is the pre-backend boolean API, kept so the
+  PR 4 call sites and tests keep working: ``True`` maps to ``"fast"``,
+  ``False`` to ``"reference"``.
 """
 
 from __future__ import annotations
 
 import os
 
+#: the recognised execution backends, slowest first
+BACKENDS = ("reference", "fast", "compiled")
+
+
+def _initial_backend() -> str:
+    name = os.environ.get("ROLP_BACKEND")
+    if name:
+        if name not in BACKENDS:
+            raise ValueError(
+                "ROLP_BACKEND=%r is not one of %s" % (name, ", ".join(BACKENDS))
+            )
+        return name
+    return "reference" if os.environ.get("ROLP_FAST_PATHS", "1") == "0" else "fast"
+
+
 #: process-wide default, captured by components at construction time
-ENABLED: bool = os.environ.get("ROLP_FAST_PATHS", "1") != "0"
+BACKEND: str = _initial_backend()
+
+#: boolean mirror of ``BACKEND != "reference"`` kept for the PR 4 API
+ENABLED: bool = BACKEND != "reference"
+
+
+def backend() -> str:
+    """The current process-wide execution backend."""
+    return BACKEND
+
+
+def set_backend(name: str) -> str:
+    """Set the process-wide backend; returns the previous value.
+
+    Tests and the perf kernels toggle this around VM construction to run
+    the backends against each other.
+    """
+    if name not in BACKENDS:
+        raise ValueError("unknown backend %r (expected one of %s)" % (name, BACKENDS))
+    global BACKEND, ENABLED
+    previous = BACKEND
+    BACKEND = name
+    ENABLED = name != "reference"
+    return previous
+
+
+def compiled_enabled() -> bool:
+    """Whether the table-dispatch/SoA backend is selected."""
+    return BACKEND == "compiled"
 
 
 def fast_paths_enabled() -> bool:
-    """The current process-wide fast-path default."""
+    """Whether any optimised backend is selected (fast or compiled)."""
     return ENABLED
 
 
 def set_fast_paths(enabled: bool) -> bool:
-    """Set the process-wide default; returns the previous value.
-
-    Tests toggle this around VM construction to run the reference and
-    fast implementations against each other.
+    """Boolean pre-backend API: ``True`` selects ``"fast"``, ``False``
+    selects ``"reference"``.  Returns the previous boolean state.
     """
-    global ENABLED
     previous = ENABLED
-    ENABLED = bool(enabled)
+    set_backend("fast" if enabled else "reference")
     return previous

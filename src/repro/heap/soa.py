@@ -1,0 +1,188 @@
+"""Array-of-structs heap hot state for the compiled backend.
+
+Per-``SimObject`` attribute access dominates the GC copy loops once the
+interpreter is out of the way: each survivor costs a handful of Python
+attribute loads and stores (header read-modify-write, ``copies`` bump,
+size accumulation).  The compiled backend mirrors the hot header fields
+into parallel columns — one dense slot per object — so the generational
+copy loop and survivor scan become numpy column sweeps
+(:meth:`repro.gc.generational.GenerationalCollector._collect_young_soa`
+and :meth:`repro.core.profiler.RolpProfiler.on_gc_survivors_soa`).
+
+:class:`ColumnObject` is the lazily-materialized per-object view: it has
+the full :class:`~repro.heap.object_model.SimObject` interface (header
+bits, liveness oracle, region back-pointer), so workloads, the heap
+verifier, region accounting, biased locking, and every non-vectorized
+collector path work on it unchanged.  Only ``header`` / ``death_time_ns``
+/ ``copies`` indirect into the columns; ``size``, ``alloc_time_ns`` and
+``region`` stay plain slots (they are written once, or only by Python
+code, so mirroring them would buy nothing).
+
+Slots are monotonic — dead objects are *not* recycled.  Workloads hold
+references to objects the collector has already discarded (that is the
+point of the death-time oracle), and a freelist would let a new object
+alias a dead object's columns through such a stale view.  The columns
+are ``array.array`` (compact, C-typed); the vectorized sweeps wrap them
+in zero-copy ``numpy.frombuffer`` views created per collection, never
+held across appends (growth reallocates the buffer).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Optional
+
+from repro.heap import header as hdr
+from repro.heap.object_model import IMMORTAL
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.heap.region import Region
+
+try:  # pragma: no cover - numpy is part of the baked toolchain
+    import numpy as _np
+except ImportError:  # pragma: no cover - degraded environments
+    _np = None
+
+#: the vectorized sweeps need numpy; without it the compiled backend
+#: keeps the plain object model (collectors check this flag)
+HAVE_NUMPY = _np is not None
+
+_MASK_32 = hdr.MASK_32
+_CONTEXT_SHIFT = hdr.CONTEXT_SHIFT
+_AGE_MASK = hdr.AGE_MASK
+_AGE_SHIFT = hdr.AGE_SHIFT
+_AGE_ONE = 1 << hdr.AGE_SHIFT
+_BIASED_MASK = hdr.BIASED_MASK
+
+
+class ColumnObject:
+    """A :class:`~repro.heap.object_model.SimObject`-compatible view of
+    one slot in :class:`ObjectColumns`."""
+
+    __slots__ = ("_c", "slot", "size", "alloc_time_ns", "region")
+
+    def __init__(
+        self,
+        columns: "ObjectColumns",
+        slot: int,
+        size: int,
+        alloc_time_ns: int,
+    ) -> None:
+        self._c = columns
+        self.slot = slot
+        self.size = size
+        self.alloc_time_ns = alloc_time_ns
+        self.region: Optional["Region"] = None
+
+    # -- mirrored hot fields -------------------------------------------------
+
+    @property
+    def header(self) -> int:
+        return self._c.headers[self.slot]
+
+    @header.setter
+    def header(self, value: int) -> None:
+        self._c.headers[self.slot] = value
+
+    @property
+    def death_time_ns(self) -> float:
+        return self._c.death[self.slot]
+
+    @death_time_ns.setter
+    def death_time_ns(self, value: float) -> None:
+        self._c.death[self.slot] = value
+
+    @property
+    def copies(self) -> int:
+        return self._c.copies[self.slot]
+
+    @copies.setter
+    def copies(self, value: int) -> None:
+        self._c.copies[self.slot] = value
+
+    # -- liveness oracle (== SimObject) --------------------------------------
+
+    def is_live(self, now_ns: int) -> bool:
+        return self._c.death[self.slot] > now_ns
+
+    def kill_at(self, death_time_ns: float) -> None:
+        if death_time_ns < self.alloc_time_ns:
+            raise ValueError("object cannot die before it is allocated")
+        self._c.death[self.slot] = death_time_ns
+
+    # -- header convenience (== SimObject) -----------------------------------
+
+    @property
+    def age(self) -> int:
+        return (self._c.headers[self.slot] & _AGE_MASK) >> _AGE_SHIFT
+
+    @property
+    def context(self) -> int:
+        return (self._c.headers[self.slot] >> _CONTEXT_SHIFT) & _MASK_32
+
+    @property
+    def biased_locked(self) -> bool:
+        return bool(self._c.headers[self.slot] & _BIASED_MASK)
+
+    def grow_older(self) -> None:
+        headers = self._c.headers
+        header = headers[self.slot]
+        if (header & _AGE_MASK) != _AGE_MASK:
+            headers[self.slot] = header + _AGE_ONE
+
+    def bias_lock(self, thread_pointer: int) -> None:
+        headers = self._c.headers
+        headers[self.slot] = hdr.bias_lock(headers[self.slot], thread_pointer)
+
+    def lifetime_ns(self) -> float:
+        return self._c.death[self.slot] - self.alloc_time_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ColumnObject(slot=%d, size=%d, ctx=0x%08x, age=%d)" % (
+            self.slot,
+            self.size,
+            self.context,
+            self.age,
+        )
+
+
+class ObjectColumns:
+    """Dense parallel columns for the GC-hot object fields.
+
+    ``allocate`` has the :class:`~repro.heap.object_model.SimObject`
+    constructor signature (plus returning a view), so the collector can
+    treat it as a drop-in object factory.
+    """
+
+    __slots__ = ("headers", "sizes", "death", "copies")
+
+    def __init__(self) -> None:
+        #: 64-bit object headers (context | age | bias bits)
+        self.headers = array("Q")
+        #: object sizes in bytes
+        self.sizes = array("q")
+        #: death-time oracle; IMMORTAL (inf) while unknown
+        self.death = array("d")
+        #: times each object has been GC-copied
+        self.copies = array("q")
+
+    def __len__(self) -> int:
+        return len(self.headers)
+
+    def allocate(
+        self,
+        size: int,
+        alloc_time_ns: int,
+        death_time_ns: float = IMMORTAL,
+        context: int = 0,
+    ) -> ColumnObject:
+        """Append one object; mirrors ``SimObject.__init__`` exactly."""
+        if size <= 0:
+            raise ValueError("object size must be positive")
+        size = int(size)
+        slot = len(self.headers)
+        self.headers.append((context & _MASK_32) << _CONTEXT_SHIFT)
+        self.sizes.append(size)
+        self.death.append(death_time_ns)
+        self.copies.append(0)
+        return ColumnObject(self, slot, size, int(alloc_time_ns))

@@ -1,0 +1,532 @@
+"""Table-dispatch interpreter — the compiled execution backend.
+
+:class:`CompiledExecutionContext` executes whole call trees of
+:class:`~repro.runtime.program.MethodProgram` bodies inside **one**
+Python frame.  This is the simulator's analogue of the JVM tier ROLP
+actually instruments: profiling code compiled straight into the method
+body, with no per-bytecode dispatch overhead around it.
+
+What the dispatch loop hoists relative to the fast backend:
+
+* **frames** — simulated calls push/pop :class:`Frame` records on the
+  thread as before (GC safepoints and allocation contexts read them),
+  but no Python frame is created per simulated call; nested program
+  callees become entries on an explicit dispatch stack;
+* **site resolution** — the per-op ``CallSite``/``AllocSite`` is cached
+  on the program after the first execution (the lazy fill preserves
+  first-execution creation order, which fixes the JIT's site-id and
+  increment-RNG assignment order);
+* **clock charges** — ``mutator_overhead_factor`` is a class constant,
+  so the per-call overhead and the Figure 6 profiling taxes are
+  pre-truncated to integer ticks once per dispatch entry and added to
+  the clock fields directly (``int(a) + int(a)`` per event, exactly as
+  ``advance_mutator`` would compute them);
+* **stack-state updates** — the add/sub is applied inline with the
+  frame's ``contributed`` bookkeeping, no method call.
+
+Bodies that are not programs (and cannot be lowered by
+:func:`~repro.runtime.program.lower_callable`) fall back to
+:meth:`FastExecutionContext.call` — the two tiers interleave freely in
+one call stack, like mixed interpreter/compiled frames in HotSpot.
+
+Every observable effect — clock ticks, RNG draws, counters, header
+bits, stack-state transitions, exception unwinds, event streams — is
+byte-identical to the reference backend; the differential fingerprint
+kernels (``rolp-bench perf``) and tests/test_perf_equivalence.py pin
+this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.heap.header import MASK_16
+from repro.heap.object_model import IMMORTAL
+from repro.runtime.exceptions import SimException
+from repro.runtime.interpreter import (
+    DEFAULT_CALL_OVERHEAD_NS,
+    FastExecutionContext,
+)
+from repro.runtime.method import Method, alloc_site_of, call_site_of
+from repro.runtime.program import (
+    MethodProgram,
+    OP_ALLOC,
+    OP_ALLOC_T,
+    OP_BIAS_LOCK,
+    OP_CALL,
+    OP_LOOP,
+    OP_REPEAT,
+    OP_THROW,
+    OP_WORK,
+)
+from repro.runtime.thread import Frame
+
+#: internal linked-form opcodes (never appear in authored programs)
+OP_END_REPEAT = 100
+OP_RETURN = 101
+
+_MISSING = object()
+
+
+def _link(program: MethodProgram) -> Tuple[tuple, tuple, tuple, tuple]:
+    """Jump-thread a program for flat dispatch.
+
+    ``OP_REPEAT``'s counted block is closed with an explicit
+    ``OP_END_REPEAT`` (back-edge to the loop header) and the whole
+    program is terminated by ``OP_RETURN``, so the dispatch loop never
+    needs a bounds check.  ``OP_ALLOC_T`` operands are expanded to
+    ``(bci_mod, sizes, len(sizes), lives, len(lives))`` to keep the
+    per-iteration modulo arithmetic free of ``len`` calls.
+    """
+    ops: List[int] = []
+    a: List[Any] = []
+    b: List[Any] = []
+    c: List[int] = []
+
+    def walk(pc: int, end: int) -> None:
+        while pc < end:
+            op = program.ops[pc]
+            if op == OP_REPEAT:
+                body_end = pc + 1 + program.b[pc]
+                header = len(ops)
+                ops.append(OP_REPEAT)
+                a.append(program.a[pc])
+                b.append(None)  # patched: linked pc after the block
+                c.append(program.c[pc])
+                walk(pc + 1, body_end)
+                ops.append(OP_END_REPEAT)
+                a.append(header)
+                b.append(None)
+                c.append(-1)
+                b[header] = len(ops)
+                pc = body_end
+            elif op == OP_ALLOC_T:
+                bci_mod, sizes, lives = program.a[pc]
+                ops.append(OP_ALLOC_T)
+                a.append(
+                    (bci_mod, sizes, len(sizes), lives, len(lives) if lives else 0)
+                )
+                b.append(None)
+                c.append(program.c[pc])
+                pc += 1
+            else:
+                ops.append(op)
+                a.append(program.a[pc])
+                b.append(program.b[pc])
+                c.append(program.c[pc])
+                pc += 1
+
+    walk(0, len(program.ops))
+    ops.append(OP_RETURN)
+    a.append(None)
+    b.append(None)
+    c.append(-1)
+    return tuple(ops), tuple(a), tuple(b), tuple(c)
+
+
+def _program_of(vm, method: Method) -> Optional[MethodProgram]:
+    """The dispatchable program for ``method``, or None.
+
+    ``MethodProgram`` bodies are used directly; Python callables go
+    through :func:`~repro.runtime.program.lower_callable` once, with the
+    result (including failures) memoized on the VM.  A program already
+    owned by a *different* method cannot share its site cache and is
+    rejected (the generic replay path handles it).
+    """
+    body = method.body
+    if type(body) is MethodProgram:
+        program = body
+    else:
+        cache = vm.method_programs
+        program = cache.get(method, _MISSING)
+        if program is _MISSING:
+            from repro.runtime.program import lower_callable
+
+            program = lower_callable(body)
+            cache[method] = program
+        if program is None:
+            return None
+    owner = program.owner
+    if owner is None:
+        program.owner = method
+    elif owner is not method:
+        return None
+    if program.linked is None:
+        program.linked = _link(program)
+        program.sites = [None] * len(program.linked[0])
+    return program
+
+
+class CompiledExecutionContext(FastExecutionContext):
+    """Flat-dispatch twin of :class:`FastExecutionContext`.
+
+    ``work``/``alloc``/``loop``/``throw_exception``/``bias_lock`` keep
+    the inherited fast implementations (they are only reached from
+    Python-callable bodies); ``call`` routes program bodies into the
+    dispatch loop and everything else to the inherited path.
+    """
+
+    __slots__ = ()
+
+    def call(self, bci: int, method: Method, *args: Any, **kwargs: Any) -> Any:
+        if kwargs:
+            return FastExecutionContext.call(self, bci, method, *args, **kwargs)
+        program = _program_of(self.vm, method)
+        if program is None or (args and type(method.body) is not MethodProgram):
+            return FastExecutionContext.call(self, bci, method, *args, **kwargs)
+        return self._dispatch(bci, method, program, args)
+
+    def _dispatch(
+        self, bci: int, method: Method, program: MethodProgram, args: tuple
+    ) -> None:
+        vm = self.vm
+        thread = self.thread
+        frames = thread.frames
+        clock = vm.clock
+        jit = vm.jit
+        profiler = vm.profiler
+
+        # -- hoisted constants (all invariant for the VM's lifetime) --------
+        # mutator_overhead_factor is a collector *class* attribute, so the
+        # integer clock ticks for the fixed-size charges can be truncated
+        # once; each charge still adds the identical int(ns * factor) that
+        # SimClock.advance_mutator would.
+        factor = vm.collector.mutator_overhead_factor
+        call_tick = int(DEFAULT_CALL_OVERHEAD_NS * factor)
+        mode = vm.flags.call_profiling_mode
+        mode_slow = mode == "slow"
+        mode_real = mode == "real"
+        mode_fast = mode == "fast"
+        slow_tax = 2 * profiler.call_slow_ns
+        fast_tax = 2 * profiler.call_fast_ns
+        slow_tick = int(slow_tax * factor)
+        fast_tick = int(fast_tax * factor)
+        # int additions are associative, so the profiling tick and the
+        # fixed call tick can land on the clock as one combined add —
+        # *provided* nothing observes the clock in between (see the
+        # OP_CALL branch: a pending JIT compile can, via tracer
+        # timestamps, so the cold path keeps the split adds)
+        slow_call_tick = slow_tick + call_tick
+        fast_call_tick = fast_tick + call_tick
+        site_enabled = profiler.call_site_enabled
+        compile_threshold = jit.compile_threshold
+        fix_unwind = vm.flags.fix_exception_unwind
+        telemetry_on = vm._telemetry_on
+        m_tax = vm._m_profiling_tax
+        vm_allocate = vm.allocate
+
+        # -- the root call itself (caller is a Python frame, maybe None) ----
+        increment = 0
+        if frames:
+            caller = frames[-1].method
+            site = call_site_of(caller, bci)
+            site.targets.add(method)
+            site.invocations += 1
+            if site.increment == 0:
+                if caller.compiled and not site.inlined:
+                    jit.register_late_call_site(site)
+            if site.increment != 0 and not site.inlined:
+                increment = vm.call_profiling_increment(site)
+        else:
+            site = None
+        method.invocations += 1
+        if not method.compiled and method.invocations >= compile_threshold:
+            jit.compile(method, profiler)
+        clock._now_ns += call_tick
+        clock.total_mutator_ns += call_tick
+        frame = Frame(method, site)
+        if increment:
+            thread.stack_state = (thread.stack_state + increment) & MASK_16
+            frame.contributed = increment
+        frames.append(frame)
+
+        # -- dispatch state -------------------------------------------------
+        stack: List[tuple] = []  # suspended caller frames
+        ops, op_a, op_b, op_c = program.linked
+        sites = program.sites
+        cur_method = method
+        regs: List[Any] = [0] * program.nregs
+        if args:
+            regs[: len(args)] = args
+        loops: List[list] = []
+        pc = 0
+        exc: Optional[SimException] = None
+
+        while True:
+            op = ops[pc]
+
+            if op == OP_CALL:
+                entry = sites[pc]
+                if entry is None:
+                    # Create the call site *before* resolving the callee
+                    # program: lowering/linking has no simulation effects,
+                    # so site-creation order matches the generic backends.
+                    # targets.add is idempotent per (pc, callee) — one add
+                    # at entry creation (== first execution) leaves the
+                    # set byte-identical to the per-call adds of the
+                    # generic backends at every JIT observation point.
+                    callee = op_b[pc]
+                    site = call_site_of(cur_method, op_a[pc])
+                    site.targets.add(callee)
+                    callee_program = _program_of(vm, callee)
+                    leaf = callee_program is not None and not callee_program.ops
+                    # [site, program, leaf, callee, tag, cached increment];
+                    # tag 0 = generic, 1/2 = steady-state slow-mode site
+                    # (leaf / non-leaf) — see the upgrade below
+                    entry = [site, callee_program, leaf, callee, 0, 0]
+                    sites[pc] = entry
+                tag = entry[4]
+                if tag == 1:
+                    # Steady state, leaf callee: the site is instrumented
+                    # (increment fixed — nonzero increments are never
+                    # reassigned), not inlined (inlining never flips on an
+                    # instrumented site), mode is "slow" (unconditional
+                    # slow-path charge, no dynamic enablement check) and
+                    # the callee is compiled (no compile can fire).  The
+                    # per-call effects reduce to four counters and the
+                    # combined clock tick; the stack-state add/sub of the
+                    # empty callee cancels (see the leaf note below).
+                    entry[0].invocations += 1
+                    vm.profiling_tax_ns += slow_tax
+                    if telemetry_on:
+                        m_tax.inc(slow_tax)
+                    clock._now_ns += slow_call_tick
+                    clock.total_mutator_ns += slow_call_tick
+                    entry[3].invocations += 1
+                    pc += 1
+                    continue
+                if tag == 2:
+                    # Steady state, program callee: same fixed charges,
+                    # then the frame push and dispatch-stack swap.
+                    site = entry[0]
+                    callee = entry[3]
+                    site.invocations += 1
+                    vm.profiling_tax_ns += slow_tax
+                    if telemetry_on:
+                        m_tax.inc(slow_tax)
+                    clock._now_ns += slow_call_tick
+                    clock.total_mutator_ns += slow_call_tick
+                    callee.invocations += 1
+                    inc = entry[5]
+                    thread.stack_state = (thread.stack_state + inc) & MASK_16
+                    frame = Frame(callee, site)
+                    frame.contributed = inc
+                    frames.append(frame)
+                    stack.append(
+                        (ops, op_a, op_b, op_c, sites, cur_method, regs, loops, pc + 1)
+                    )
+                    callee_program = entry[1]
+                    ops, op_a, op_b, op_c = callee_program.linked
+                    sites = callee_program.sites
+                    cur_method = callee
+                    regs = [0] * callee_program.nregs
+                    loops = []
+                    pc = 0
+                    continue
+                site = entry[0]
+                callee_program = entry[1]
+                leaf = entry[2]
+                callee = entry[3]
+                if callee_program is None:
+                    try:
+                        FastExecutionContext.call(self, op_a[pc], callee)
+                    except SimException as raised:
+                        exc = raised
+                    else:
+                        pc += 1
+                        continue
+                else:
+                    site.invocations += 1
+                    inc = site.increment
+                    if inc == 0 and cur_method.compiled and not site.inlined:
+                        jit.register_late_call_site(site)
+                        inc = site.increment
+                    # inlined vm.call_profiling_increment for an
+                    # instrumented site
+                    increment = 0
+                    tick = call_tick
+                    if inc != 0 and not site.inlined:
+                        if mode_slow or (mode_real and site_enabled(site)):
+                            increment = inc
+                            vm.profiling_tax_ns += slow_tax
+                            if telemetry_on:
+                                m_tax.inc(slow_tax)
+                            tick = slow_call_tick
+                        elif mode_fast or mode_real:
+                            vm.profiling_tax_ns += fast_tax
+                            if telemetry_on:
+                                m_tax.inc(fast_tax)
+                            tick = fast_call_tick
+                    callee.invocations += 1
+                    if callee.compiled:
+                        # steady state: no compile can fire, so nothing
+                        # observes the clock between the profiling tick
+                        # and the call tick — one combined add
+                        clock._now_ns += tick
+                        clock.total_mutator_ns += tick
+                        if increment and mode_slow:
+                            # every input to this site's per-call effects
+                            # is now frozen (increment assigned, inlining
+                            # settled, callee compiled, unconditional
+                            # slow-path charge) — upgrade to the tagged
+                            # fast path above
+                            entry[4] = 1 if leaf else 2
+                            entry[5] = increment
+                    else:
+                        # cold path: a tracer timestamp inside a JIT
+                        # compile must see the profiling tick but not
+                        # the call tick — keep the reference's split
+                        prof_tick = tick - call_tick
+                        clock._now_ns += prof_tick
+                        clock.total_mutator_ns += prof_tick
+                        if callee.invocations >= compile_threshold:
+                            jit.compile(callee, profiler)
+                        clock._now_ns += call_tick
+                        clock.total_mutator_ns += call_tick
+                    if leaf:
+                        # Empty body: push + immediate pop is net-zero on
+                        # every observable (the stack-state add/sub cancels
+                        # under the 16-bit wrap, no op can observe the
+                        # frame in between), so skip the frame round trip.
+                        pc += 1
+                        continue
+                    frame = Frame(callee, site)
+                    if increment:
+                        thread.stack_state = (thread.stack_state + increment) & MASK_16
+                        frame.contributed = increment
+                    frames.append(frame)
+                    stack.append((ops, op_a, op_b, op_c, sites, cur_method, regs, loops, pc + 1))
+                    ops, op_a, op_b, op_c = callee_program.linked
+                    sites = callee_program.sites
+                    cur_method = callee
+                    regs = [0] * callee_program.nregs
+                    loops = []
+                    pc = 0
+                    continue
+
+            elif op == OP_RETURN:
+                popped = frames.pop()
+                if popped.contributed:
+                    thread.stack_state = (
+                        thread.stack_state - popped.contributed
+                    ) & MASK_16
+                if not stack:
+                    return None
+                ops, op_a, op_b, op_c, sites, cur_method, regs, loops, pc = stack.pop()
+                continue
+
+            elif op == OP_ALLOC_T:
+                # (bci_mod, sizes, nsizes, lives, nlives), index in regs[c]
+                table = op_a[pc]
+                j = regs[op_c[pc]]
+                cache = sites[pc]
+                if cache is None:
+                    cache = [None] * table[0]
+                    sites[pc] = cache
+                abci = j % table[0]
+                site = cache[abci]
+                if site is None:
+                    site = alloc_site_of(cur_method, abci)
+                    cache[abci] = site
+                site.alloc_count += 1
+                if cur_method.compiled and site.site_id == 0:
+                    jit.register_late_alloc_site(site, profiler)
+                lives_t = table[3]
+                death = (
+                    IMMORTAL
+                    if lives_t is None
+                    else clock._now_ns + lives_t[j % table[4]]
+                )
+                vm_allocate(thread, site, table[1][j % table[2]], death, 0)
+                pc += 1
+                continue
+
+            elif op == OP_END_REPEAT:
+                rec = loops[-1]
+                if rec[0] > 0:
+                    rec[0] -= 1
+                    rec[4] += 1
+                    regs[rec[2]] = rec[3] + rec[4]
+                    pc = rec[1]
+                else:
+                    loops.pop()
+                    regs[rec[2]] = rec[3]
+                    pc += 1
+                continue
+
+            elif op == OP_WORK:
+                tick = int(op_a[pc] * factor)
+                clock._now_ns += tick
+                clock.total_mutator_ns += tick
+                pc += 1
+                continue
+
+            elif op == OP_ALLOC:
+                site = sites[pc]
+                if site is None:
+                    site = alloc_site_of(cur_method, op_a[pc])
+                    sites[pc] = site
+                site.alloc_count += 1
+                if cur_method.compiled and site.site_id == 0:
+                    jit.register_late_alloc_site(site, profiler)
+                size, lives = op_b[pc]
+                death = IMMORTAL if lives is None else clock._now_ns + lives
+                obj = vm_allocate(thread, site, size, death, 0)
+                if op_c[pc] >= 0:
+                    regs[op_c[pc]] = obj
+                pc += 1
+                continue
+
+            elif op == OP_REPEAT:
+                count = regs[op_a[pc]]
+                if count > 0:
+                    index_reg = op_c[pc]
+                    # [remaining, body_start, index_reg, base, iteration]
+                    loops.append([count - 1, pc + 1, index_reg, regs[index_reg], 0])
+                    pc += 1
+                else:
+                    pc = op_b[pc]
+                continue
+
+            elif op == OP_LOOP:
+                tick = int(op_a[pc] * op_b[pc] * factor)
+                clock._now_ns += tick
+                clock.total_mutator_ns += tick
+                if cur_method.osr_eligible and not cur_method.compiled:
+                    if jit.maybe_osr(cur_method, profiler):
+                        thread.stack_state = (thread.stack_state + 0x5A5A) & MASK_16
+                pc += 1
+                continue
+
+            elif op == OP_THROW:
+                vm.exceptions_thrown += 1
+                exc = SimException(op_a[pc], op_b[pc])
+
+            elif op == OP_BIAS_LOCK:
+                vm.biased_locks.lock(thread, regs[op_c[pc]])
+                pc += 1
+                continue
+
+            else:  # pragma: no cover - linker emits only the ops above
+                raise ValueError("bad opcode %r at linked pc %d" % (op, pc))
+
+            # Only the two exception producers reach here (OP_THROW and
+            # the callable-fallback except clause); every other branch
+            # continues straight to the next op.  Unwind: pop the frame
+            # the exception is propagating out of, then either resume
+            # the suspended caller or keep popping — each level exactly
+            # mirrors the except clause in FastExecutionContext.call.
+            while True:
+                thread.pop_frame(repair=fix_unwind)
+                exc.unwound += 1
+                handled = exc.should_stop_at(exc.unwound)
+                if not stack:
+                    if handled:
+                        return None
+                    raise exc
+                ops, op_a, op_b, op_c, sites, cur_method, regs, loops, pc = (
+                    stack.pop()
+                )
+                if handled:
+                    break
+            exc = None

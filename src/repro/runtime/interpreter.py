@@ -26,7 +26,7 @@ from typing import Any, Optional
 from repro.heap.header import MASK_16
 from repro.heap.object_model import IMMORTAL, SimObject
 from repro.runtime.exceptions import SimException
-from repro.runtime.method import AllocSite, CallSite, Method
+from repro.runtime.method import CallSite, Method, alloc_site_of, call_site_of
 from repro.runtime.thread import Frame, SimThread
 
 #: default simulated cost of executing one method body's base work
@@ -173,10 +173,7 @@ class FastExecutionContext(ExecutionContext):
         increment = 0
         if frames:
             caller = frames[-1].method
-            site = caller.call_sites.get(bci)
-            if site is None:
-                site = CallSite(caller, bci)
-                caller.call_sites[bci] = site
+            site = call_site_of(caller, bci)
             site.targets.add(method)
             site.invocations += 1
             if site.increment == 0:
@@ -226,11 +223,7 @@ class FastExecutionContext(ExecutionContext):
         if not frames:
             raise RuntimeError("allocation outside any method frame")
         method = frames[-1].method
-        sites = method.alloc_sites
-        site = sites.get(bci)
-        if site is None:
-            site = AllocSite(method, bci)
-            sites[bci] = site
+        site = alloc_site_of(method, bci)
         site.alloc_count += 1
         vm = self.vm
         if method.compiled and site.site_id == 0:

@@ -158,22 +158,45 @@ class Method:
 
     def alloc_site(self, bci: int) -> AllocSite:
         """Get-or-create the allocation site at ``bci``."""
-        site = self.alloc_sites.get(bci)
-        if site is None:
-            site = AllocSite(self, bci)
-            self.alloc_sites[bci] = site
-        return site
+        return alloc_site_of(self, bci)
 
     def call_site(self, bci: int) -> CallSite:
         """Get-or-create the call site at ``bci``."""
-        site = self.call_sites.get(bci)
-        if site is None:
-            site = CallSite(self, bci)
-            self.call_sites[bci] = site
-        return site
+        return call_site_of(self, bci)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "Method(%s%s)" % (
             self.qualified_name,
             " [jit]" if self.compiled else "",
         )
+
+
+# -- shared site get-or-create fast helpers ---------------------------------
+#
+# The single source of truth for first-execution site creation.  Every
+# execution backend (reference via Method.call_site/alloc_site, the
+# inlined FastExecutionContext bodies, the table-dispatch interpreter's
+# per-op site caches) resolves sites through these, so the creation
+# semantics — and, critically, the site *insertion order*, which fixes
+# the JIT's site-id and increment-RNG assignment order — cannot drift
+# between backends.  Module-level functions keep the hot call one plain
+# LOAD_GLOBAL away instead of a bound-method construction.
+
+def alloc_site_of(method: "Method", bci: int) -> AllocSite:
+    """Get-or-create ``method``'s allocation site at ``bci``."""
+    sites = method.alloc_sites
+    site = sites.get(bci)
+    if site is None:
+        site = AllocSite(method, bci)
+        sites[bci] = site
+    return site
+
+
+def call_site_of(method: "Method", bci: int) -> CallSite:
+    """Get-or-create ``method``'s call site at ``bci``."""
+    sites = method.call_sites
+    site = sites.get(bci)
+    if site is None:
+        site = CallSite(method, bci)
+        sites[bci] = site
+    return site

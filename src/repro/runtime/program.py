@@ -1,0 +1,385 @@
+"""Flat method programs — the compiled tier's code format.
+
+ROLP's profiling only ever runs inside *compiled* code (Section 7.2.1:
+instrumentation is installed at JIT time, interpreted frames are never
+profiled), and the JVM's hot path is compiled code executing straight
+through without per-bytecode dispatch.  The simulator's analogue: a
+workload body can be expressed as a :class:`MethodProgram` — a flat
+array of opcodes with operands in parallel tuples — instead of a Python
+callable.  Every backend executes the *same* op stream:
+
+* the reference and fast backends run :meth:`MethodProgram.__call__`,
+  which replays the ops through the ordinary ``ctx.call``/``ctx.alloc``/
+  ``ctx.work``/... entry points (one Python frame per simulated frame,
+  exactly like a hand-written body);
+* the compiled backend (:mod:`repro.runtime.dispatch`) executes whole
+  call trees of programs in **one** Python frame with per-op site
+  caches and inlined clock charges.
+
+:func:`lower_callable` converts existing straight-line Python bodies
+(a sequence of ``ctx.*`` statements with constant arguments, optionally
+wrapped in one counted ``for`` loop) into programs, so workloads written
+against the callable API can ride the compiled tier without rewrites;
+anything it cannot prove equivalent stays a Python callable and the
+dispatch loop falls back to the fast backend's semantics for it.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Any, List, Optional, Sequence, Tuple
+
+# -- opcodes ----------------------------------------------------------------
+#
+# Operands live in the parallel tuples ``a``/``b``/``c``; unused slots
+# hold None (or -1 for register slots).  Registers form a tiny file:
+# positional call arguments land in r0..r(n-1).
+
+OP_CALL = 0       # a=bci, b=callee Method                  -> ctx.call(bci, callee)
+OP_ALLOC = 1      # a=bci, b=(size, lives_ns), c=dst reg    -> ctx.alloc(...)
+OP_ALLOC_T = 2    # a=(bci_mod, sizes, lives), c=index reg  -> table-indexed alloc
+OP_WORK = 3       # a=ns                                    -> ctx.work(ns)
+OP_LOOP = 4       # a=iterations, b=ns_per_iteration        -> ctx.loop(...)
+OP_THROW = 5      # a=message, b=handled_depth              -> ctx.throw_exception
+OP_BIAS_LOCK = 6  # c=reg holding the object                -> ctx.bias_lock(obj)
+OP_REPEAT = 7     # a=count reg, b=body op count, c=index reg (base value in reg)
+
+OP_NAMES = {
+    OP_CALL: "CALL",
+    OP_ALLOC: "ALLOC",
+    OP_ALLOC_T: "ALLOC_T",
+    OP_WORK: "WORK",
+    OP_LOOP: "LOOP",
+    OP_THROW: "THROW",
+    OP_BIAS_LOCK: "BIAS_LOCK",
+    OP_REPEAT: "REPEAT",
+}
+
+
+class MethodProgram:
+    """One method body as flat bytecode.
+
+    Instances are callables with the body signature the interpreter
+    expects (``body(ctx, *args)``), so ``Method(..., body=program)``
+    works on every backend.  A program instance belongs to one
+    :class:`~repro.runtime.method.Method`: the compiled backend attaches
+    per-op site caches to it (see :mod:`repro.runtime.dispatch`), which
+    are only sound while op index ↔ (method, bci) is a fixed mapping.
+    """
+
+    __slots__ = (
+        "ops",
+        "a",
+        "b",
+        "c",
+        "nregs",
+        "name",
+        # dispatch-time state (owned by repro.runtime.dispatch)
+        "sites",
+        "owner",
+        "linked",
+    )
+
+    def __init__(
+        self,
+        ops: Sequence[int],
+        a: Sequence[Any],
+        b: Sequence[Any],
+        c: Sequence[int],
+        nregs: int = 0,
+        name: str = "<program>",
+    ) -> None:
+        if not (len(ops) == len(a) == len(b) == len(c)):
+            raise ValueError("operand tuples must parallel the op array")
+        self.ops = tuple(ops)
+        self.a = tuple(a)
+        self.b = tuple(b)
+        self.c = tuple(c)
+        self.nregs = int(nregs)
+        self.name = name
+        #: per-op resolved CallSite/AllocSite cache, lazily filled by the
+        #: dispatch loop in first-execution order (which is what keeps
+        #: the JIT's site-id / increment-RNG assignment order identical
+        #: to the reference backend); indexed by *linked* pc
+        self.sites: Optional[List[Any]] = None
+        #: the Method whose sites the cache belongs to (bound on first
+        #: dispatch; a program reused under a different Method falls
+        #: back to the uncompiled path)
+        self.owner = None
+        #: linked (jump-threaded) form built on first dispatch
+        self.linked = None
+
+    # -- generic execution (reference / fast backends) ----------------------
+
+    def __call__(self, ctx, *args: Any) -> Any:
+        """Replay the ops through the ordinary ExecutionContext API."""
+        regs: List[Any] = [0] * self.nregs
+        regs[: len(args)] = args
+        self._run_block(ctx, regs, 0, len(self.ops))
+        return None
+
+    def _run_block(self, ctx, regs: List[Any], pc: int, end: int) -> None:
+        ops, a, b, c = self.ops, self.a, self.b, self.c
+        while pc < end:
+            op = ops[pc]
+            if op == OP_CALL:
+                ctx.call(a[pc], b[pc])
+            elif op == OP_ALLOC:
+                size, lives = b[pc]
+                obj = ctx.alloc(a[pc], size, lives)
+                if c[pc] >= 0:
+                    regs[c[pc]] = obj
+            elif op == OP_ALLOC_T:
+                bci_mod, sizes, lives = a[pc]
+                j = regs[c[pc]]
+                ctx.alloc(
+                    j % bci_mod,
+                    sizes[j % len(sizes)],
+                    lives[j % len(lives)] if lives is not None else None,
+                )
+            elif op == OP_WORK:
+                ctx.work(a[pc])
+            elif op == OP_LOOP:
+                ctx.loop(a[pc], b[pc])
+            elif op == OP_THROW:
+                ctx.throw_exception(a[pc], b[pc])
+            elif op == OP_BIAS_LOCK:
+                ctx.bias_lock(regs[c[pc]])
+            elif op == OP_REPEAT:
+                count = regs[a[pc]]
+                body_end = pc + 1 + b[pc]
+                index_reg = c[pc]
+                base = regs[index_reg]
+                for iteration in range(count):
+                    regs[index_reg] = base + iteration
+                    self._run_block(ctx, regs, pc + 1, body_end)
+                regs[index_reg] = base
+                pc = body_end
+                continue
+            else:  # pragma: no cover - builder guards opcodes
+                raise ValueError("unknown opcode %r at pc %d" % (op, pc))
+            pc += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MethodProgram(%s, %d ops)" % (self.name, len(self.ops))
+
+
+class ProgramBuilder:
+    """Convenience builder for hand-authored programs."""
+
+    def __init__(self, name: str = "<program>", nregs: int = 0) -> None:
+        self.name = name
+        self.nregs = nregs
+        self._ops: List[int] = []
+        self._a: List[Any] = []
+        self._b: List[Any] = []
+        self._c: List[int] = []
+        self._open_repeats: List[int] = []
+
+    def _emit(self, op: int, a: Any = None, b: Any = None, c: int = -1) -> "ProgramBuilder":
+        self._ops.append(op)
+        self._a.append(a)
+        self._b.append(b)
+        self._c.append(c)
+        return self
+
+    def call(self, bci: int, callee) -> "ProgramBuilder":
+        return self._emit(OP_CALL, bci, callee)
+
+    def alloc(
+        self, bci: int, size: int, lives_ns: Optional[float] = None, dst: int = -1
+    ) -> "ProgramBuilder":
+        return self._emit(OP_ALLOC, bci, (size, lives_ns), dst)
+
+    def alloc_table(
+        self,
+        bci_mod: int,
+        sizes: Sequence[int],
+        lives: Optional[Sequence[float]],
+        index_reg: int,
+    ) -> "ProgramBuilder":
+        lives_t = tuple(lives) if lives is not None else None
+        return self._emit(OP_ALLOC_T, (bci_mod, tuple(sizes), lives_t), None, index_reg)
+
+    def work(self, ns: float) -> "ProgramBuilder":
+        return self._emit(OP_WORK, ns)
+
+    def loop(self, iterations: int, ns_per_iteration: float = 10.0) -> "ProgramBuilder":
+        return self._emit(OP_LOOP, iterations, ns_per_iteration)
+
+    def throw(self, message: str = "", handled_depth: int = 1) -> "ProgramBuilder":
+        return self._emit(OP_THROW, message, handled_depth)
+
+    def bias_lock(self, reg: int) -> "ProgramBuilder":
+        return self._emit(OP_BIAS_LOCK, None, None, reg)
+
+    def repeat(self, count_reg: int, index_reg: int) -> "ProgramBuilder":
+        """Open a counted block: the next ops (until :meth:`end_repeat`)
+        run ``regs[count_reg]`` times with ``regs[index_reg]`` stepping
+        ``base, base+1, ...`` from its value at block entry."""
+        self._open_repeats.append(len(self._ops))
+        return self._emit(OP_REPEAT, count_reg, None, index_reg)
+
+    def end_repeat(self) -> "ProgramBuilder":
+        if not self._open_repeats:
+            raise ValueError("end_repeat without repeat")
+        start = self._open_repeats.pop()
+        self._b[start] = len(self._ops) - start - 1
+        return self
+
+    def build(self) -> MethodProgram:
+        if self._open_repeats:
+            raise ValueError("unclosed repeat block")
+        return MethodProgram(
+            self._ops, self._a, self._b, self._c, nregs=self.nregs, name=self.name
+        )
+
+
+# -- lowering Python callables ----------------------------------------------
+
+#: ctx methods the lowerer understands, with their opcode and the
+#: (positional) argument count bounds
+_LOWERABLE = {
+    "call": OP_CALL,
+    "alloc": OP_ALLOC,
+    "work": OP_WORK,
+    "loop": OP_LOOP,
+    "throw_exception": OP_THROW,
+}
+
+
+def lower_callable(fn, name: Optional[str] = None) -> Optional[MethodProgram]:
+    """Lower a straight-line method body to a :class:`MethodProgram`.
+
+    Accepted shape: ``def body(ctx):`` whose statements are each a bare
+    ``ctx.call(bci, callee)`` / ``ctx.alloc(bci, size[, lives])`` /
+    ``ctx.work(ns)`` / ``ctx.loop(n[, ns])`` / ``ctx.throw_exception(...)``
+    expression with constant arguments (``callee`` may be a name that
+    resolves to a Method through the function's closure or globals; the
+    binding is captured at lowering time).  Docstrings and ``return
+    None``/bare ``return`` as the final statement are tolerated.
+    Anything else — extra parameters, loops, conditionals, computed
+    arguments, keyword arguments — returns None and the body stays a
+    Python callable.
+    """
+    if isinstance(fn, MethodProgram):
+        return fn
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError, IndentationError):
+        return None
+    if not tree.body or not isinstance(tree.body[0], ast.FunctionDef):
+        return None
+    func = tree.body[0]
+    args = func.args
+    if (
+        args.posonlyargs
+        or args.kwonlyargs
+        or args.vararg
+        or args.kwarg
+        or args.defaults
+        or len(args.args) != 1
+    ):
+        return None
+    ctx_name = args.args[0].arg
+
+    builder = ProgramBuilder(name=name or getattr(fn, "__name__", "<lowered>"))
+    statements = list(func.body)
+    # tolerate a docstring and a trailing `return`/`return None`
+    if (
+        statements
+        and isinstance(statements[0], ast.Expr)
+        and isinstance(statements[0].value, ast.Constant)
+        and isinstance(statements[0].value.value, str)
+    ):
+        statements = statements[1:]
+    if statements and isinstance(statements[-1], ast.Return):
+        value = statements[-1].value
+        if value is not None and not (
+            isinstance(value, ast.Constant) and value.value is None
+        ):
+            return None
+        statements = statements[:-1]
+    if not statements:
+        return builder.build()
+
+    for statement in statements:
+        if not isinstance(statement, ast.Expr) or not isinstance(
+            statement.value, ast.Call
+        ):
+            return None
+        call = statement.value
+        target = call.func
+        if (
+            not isinstance(target, ast.Attribute)
+            or not isinstance(target.value, ast.Name)
+            or target.value.id != ctx_name
+            or call.keywords
+        ):
+            return None
+        op = _LOWERABLE.get(target.attr)
+        if op is None:
+            return None
+        values = _resolve_args(call.args, fn)
+        if values is None:
+            return None
+        if op == OP_CALL:
+            if len(values) != 2 or not isinstance(values[0], int):
+                return None
+            builder.call(values[0], values[1])
+        elif op == OP_ALLOC:
+            if len(values) == 2:
+                builder.alloc(values[0], values[1])
+            elif len(values) == 3:
+                builder.alloc(values[0], values[1], values[2])
+            else:
+                return None
+        elif op == OP_WORK:
+            if len(values) != 1:
+                return None
+            builder.work(values[0])
+        elif op == OP_LOOP:
+            if len(values) == 1:
+                builder.loop(values[0])
+            elif len(values) == 2:
+                builder.loop(values[0], values[1])
+            else:
+                return None
+        elif op == OP_THROW:
+            if len(values) == 0:
+                builder.throw()
+            elif len(values) == 1:
+                builder.throw(values[0])
+            elif len(values) == 2:
+                builder.throw(values[0], values[1])
+            else:
+                return None
+    return builder.build()
+
+
+def _resolve_args(nodes, fn) -> Optional[Tuple[Any, ...]]:
+    """Constants, or names resolvable through the closure/globals."""
+    closure = {}
+    if fn.__closure__:
+        for cell_name, cell in zip(fn.__code__.co_freevars, fn.__closure__):
+            try:
+                closure[cell_name] = cell.cell_contents
+            except ValueError:  # pragma: no cover - unfilled cell
+                pass
+    values: List[Any] = []
+    for node in nodes:
+        if isinstance(node, ast.Constant):
+            values.append(node.value)
+        elif isinstance(node, ast.Name):
+            if node.id in closure:
+                values.append(closure[node.id])
+            elif node.id in fn.__globals__:
+                values.append(fn.__globals__[node.id])
+            else:
+                return None
+        else:
+            return None
+    return tuple(values)

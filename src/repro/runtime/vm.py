@@ -11,11 +11,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis import VERIFY_LEVELS, default_verify_level, make_verifier
-from repro.fastpath import fast_paths_enabled
+from repro.fastpath import backend, fast_paths_enabled
 from repro.heap.header import install_context
 from repro.heap.object_model import IMMORTAL, SimObject
 from repro.runtime.biased_lock import BiasedLockManager
 from repro.runtime.clock import SimClock
+from repro.runtime.dispatch import CompiledExecutionContext
 from repro.runtime.exceptions import SimException
 from repro.runtime.hooks import NullProfiler
 from repro.runtime.interpreter import ExecutionContext, FastExecutionContext
@@ -125,13 +126,25 @@ class JavaVM:
         self.bytes_allocated = 0
         #: mutator nanoseconds spent purely on profiling code
         self.profiling_tax_ns = 0.0
-        #: construction-time snapshot of the process fast-path switch
+        #: construction-time snapshot of the execution backend
+        self.backend = backend()
+        #: boolean mirror kept for the pre-backend API and fast twins
         self.fast_paths = fast_paths_enabled()
-        self._ctx_class = FastExecutionContext if self.fast_paths else ExecutionContext
+        if self.backend == "compiled":
+            self._ctx_class = CompiledExecutionContext
+        elif self.fast_paths:
+            self._ctx_class = FastExecutionContext
+        else:
+            self._ctx_class = ExecutionContext
         if self.fast_paths:
             # Instance attribute shadows the class method: callers keep
             # saying vm.allocate, dispatch picks the inlined body.
             self.allocate = self._allocate_fast  # type: ignore[method-assign]
+        #: per-method lowering results for the compiled backend
+        #: (Method -> MethodProgram or None; memoizes failures too).
+        #: Lives on the VM because run() builds a fresh context per root
+        #: call — a context-local cache would relower every operation.
+        self.method_programs: Dict[Method, object] = {}
         collector.attach_vm(self)
 
     # -- threads ------------------------------------------------------------------

@@ -1,27 +1,36 @@
-"""Interpreter edge cases the hot-path rewrite must preserve: exception
-unwinds that cross allocation sites, 16-bit stack-state wraparound under
-deeply instrumented call chains, and ``loop()`` clock accounting.
+"""Interpreter edge cases every execution backend must preserve:
+exception unwinds that cross allocation sites (with and without the
+rethrow hook), 16-bit stack-state wraparound under deeply instrumented
+call chains, the OSR corruption pulse, allocation outside any frame,
+and ``loop()`` clock accounting.
 
-Every test runs against both execution contexts (the reference
-:class:`ExecutionContext` and :class:`FastExecutionContext`), selected
-the way production selects them — via the process-global fast-path
-switch at VM construction.
+Every test runs against all three execution backends (the reference
+:class:`ExecutionContext`, :class:`FastExecutionContext` and the
+table-dispatch :class:`CompiledExecutionContext`), selected the way
+production selects them — via the process-global backend switch at VM
+construction.  The workload bodies are written in the straight-line
+shape :func:`~repro.runtime.program.lower_callable` accepts, so under
+the compiled backend they genuinely execute in the dispatch loop (a
+body that records observations through a closure stays a Python
+callable and exercises the mixed-tier fallback instead).
 """
 
 import pytest
 
 from repro import build_vm
-from repro.fastpath import set_fast_paths
+from repro.fastpath import BACKENDS, set_backend
 from repro.heap.header import MASK_16
 from repro.runtime import Method, VMFlags
+from repro.runtime.dispatch import CompiledExecutionContext
 from repro.runtime.interpreter import ExecutionContext, FastExecutionContext
+from repro.runtime.program import ProgramBuilder
 
 
-@pytest.fixture(params=[False, True], ids=["reference", "fast"])
-def fast_paths(request):
-    previous = set_fast_paths(request.param)
+@pytest.fixture(params=BACKENDS)
+def exec_backend(request):
+    previous = set_backend(request.param)
     yield request.param
-    set_fast_paths(previous)
+    set_backend(previous)
 
 
 def make_vm(flags=None):
@@ -42,10 +51,14 @@ def set_increment(caller, bci, increment):
 
 
 class TestContextSelection:
-    def test_vm_picks_context_class_from_ambient_switch(self, fast_paths):
+    def test_vm_picks_context_class_from_ambient_switch(self, exec_backend):
         vm = make_vm()
         ctx = vm.context(vm.spawn_thread())
-        expected = FastExecutionContext if fast_paths else ExecutionContext
+        expected = {
+            "reference": ExecutionContext,
+            "fast": FastExecutionContext,
+            "compiled": CompiledExecutionContext,
+        }[exec_backend]
         assert type(ctx) is expected
 
 
@@ -62,19 +75,19 @@ class TestExceptionUnwindThroughAlloc:
         thread = vm.spawn_thread()
 
         def inner_body(ctx):
-            ctx.alloc(1, 128, lives_ns=1_000)
-            ctx.throw_exception("post-alloc failure", handled_depth=2)
+            ctx.alloc(1, 128, 1_000)
+            ctx.throw_exception("post-alloc failure", 2)
 
         inner = make_method("inner", inner_body)
 
         def mid_body(ctx):
-            ctx.alloc(2, 64, lives_ns=1_000)
-            return ctx.call(5, inner)
+            ctx.alloc(2, 64, 1_000)
+            ctx.call(5, inner)
 
         mid = make_method("mid", mid_body)
 
         def root_body(ctx):
-            return ctx.call(7, mid)
+            ctx.call(7, mid)
 
         root = make_method("root", root_body)
 
@@ -86,17 +99,17 @@ class TestExceptionUnwindThroughAlloc:
         vm.run(thread, root)
         return vm, thread, inner
 
-    def test_alloc_site_recorded_despite_unwind(self):
+    def test_alloc_site_recorded_despite_unwind(self, exec_backend):
         vm, thread, inner = self.run_workload(fix=True)
         assert inner.alloc_sites[1].alloc_count == 2
         assert vm.allocations == 4  # 2 allocs per run (mid + inner)
 
-    def test_unwind_with_fix_rebalances_stack_state(self, fast_paths):
+    def test_unwind_with_fix_rebalances_stack_state(self, exec_backend):
         _, thread, _ = self.run_workload(fix=True)
         assert thread.frames == []
         assert thread.stack_state == 0
 
-    def test_unwind_without_fix_leaks_contributions(self, fast_paths):
+    def test_unwind_without_fix_leaks_contributions(self, exec_backend):
         # the exception is handled in root (2 frames up): both frames it
         # crosses — inner (contributed 0x0202) and mid (0x0101) — unwind
         # unrepaired; root's own pop is a normal return and stays balanced
@@ -107,13 +120,44 @@ class TestExceptionUnwindThroughAlloc:
         assert thread.verify_and_repair() is True  # safepoint repairs it
         assert thread.stack_state == 0
 
+    @pytest.mark.parametrize("fix", [True, False], ids=["hook", "no-hook"])
+    def test_program_bodies_unwind_like_callables(self, exec_backend, fix):
+        """The same workload authored directly as MethodPrograms: the
+        unwind must cross *dispatch* frames under the compiled backend
+        and generic replay frames elsewhere, with identical balances."""
+        vm = make_vm(
+            VMFlags(call_profiling_mode="slow", fix_exception_unwind=fix)
+        )
+        thread = vm.spawn_thread()
+        inner = make_method(
+            "inner",
+            ProgramBuilder("inner")
+            .alloc(1, 128, 1_000)
+            .throw("post-alloc failure", 2)
+            .build(),
+        )
+        mid = make_method(
+            "mid", ProgramBuilder("mid").alloc(2, 64, 1_000).call(5, inner).build()
+        )
+        root = make_method("root", ProgramBuilder("root").call(7, mid).build())
+
+        vm.run(thread, root)
+        set_increment(root, 7, 0x0101)
+        set_increment(mid, 5, 0x0202)
+        vm.run(thread, root)
+
+        assert inner.alloc_sites[1].alloc_count == 2
+        assert vm.allocations == 4
+        assert thread.frames == []
+        assert thread.stack_state == (0 if fix else 0x0202 + 0x0101)
+
 
 class TestStackStateOverflow:
     """Contributions are 16-bit modular arithmetic: a nested chain whose
     increments sum past 0xFFFF must wrap, agree with
     ``expected_stack_state`` mid-flight, and unwind back to zero."""
 
-    def test_nested_increments_wrap_mod_2_16(self, fast_paths):
+    def test_nested_increments_wrap_mod_2_16(self, exec_backend):
         vm = make_vm(VMFlags(call_profiling_mode="slow"))
         thread = vm.spawn_thread()
         observed = {}
@@ -125,12 +169,12 @@ class TestStackStateOverflow:
         leaf = make_method("leaf", leaf_body)
 
         def mid_body(ctx):
-            return ctx.call(3, leaf)
+            ctx.call(3, leaf)
 
         mid = make_method("mid", mid_body)
 
         def root_body(ctx):
-            return ctx.call(4, mid)
+            ctx.call(4, mid)
 
         root = make_method("root", root_body)
 
@@ -146,24 +190,24 @@ class TestStackStateOverflow:
         assert thread.stack_state == 0
         assert thread.frames == []
 
-    def test_wraparound_survives_exception_unwind(self, fast_paths):
+    def test_wraparound_survives_exception_unwind(self, exec_backend):
         vm = make_vm(
             VMFlags(call_profiling_mode="slow", fix_exception_unwind=True)
         )
         thread = vm.spawn_thread()
 
         def leaf_body(ctx):
-            ctx.throw_exception("boom", handled_depth=2)
+            ctx.throw_exception("boom", 2)
 
         leaf = make_method("leaf", leaf_body)
 
         def mid_body(ctx):
-            return ctx.call(3, leaf)
+            ctx.call(3, leaf)
 
         mid = make_method("mid", mid_body)
 
         def root_body(ctx):
-            return ctx.call(4, mid)
+            ctx.call(4, mid)
 
         root = make_method("root", root_body)
 
@@ -176,8 +220,51 @@ class TestStackStateOverflow:
         assert thread.stack_state == 0
 
 
+class TestOsrCorruptionPulse:
+    """``loop()`` in an OSR-eligible interpreted method compiles it
+    mid-execution and applies the 0x5A5A stack-state pulse the
+    safepoint verifier exists to repair (§7.2.3)."""
+
+    def run_looper(self):
+        vm = make_vm(VMFlags(compile_threshold=1_000_000))
+        thread = vm.spawn_thread()
+
+        def body(ctx):
+            ctx.loop(100, 10.0)
+
+        looper = Method(
+            "looper", "app.Edge", body, bytecode_size=100, osr_eligible=True
+        )
+        vm.run(thread, looper)
+        return vm, thread, looper
+
+    def test_osr_compiles_and_corrupts_stack_state(self, exec_backend):
+        vm, thread, looper = self.run_looper()
+        assert looper.compiled
+        assert vm.jit.osr_events == 1
+        # the pulse survives until the next safepoint repairs it
+        assert thread.stack_state == 0x5A5A
+        assert thread.verify_and_repair() is True
+        assert thread.stack_state == 0
+
+    def test_osr_fires_once(self, exec_backend):
+        vm, thread, looper = self.run_looper()
+        thread.verify_and_repair()
+        vm.run(thread, looper)  # already compiled: no second pulse
+        assert vm.jit.osr_events == 1
+        assert thread.stack_state == 0
+
+
+class TestAllocationOutsideFrame:
+    def test_alloc_without_frame_raises(self, exec_backend):
+        vm = make_vm()
+        ctx = vm.context(vm.spawn_thread())
+        with pytest.raises(RuntimeError, match="outside any method frame"):
+            ctx.alloc(1, 64)
+
+
 class TestLoopClockAccounting:
-    def test_loop_charges_iterations_times_cost(self, fast_paths):
+    def test_loop_charges_iterations_times_cost(self, exec_backend):
         vm = make_vm()
         thread = vm.spawn_thread()
         factor = vm.collector.mutator_overhead_factor
@@ -191,7 +278,7 @@ class TestLoopClockAccounting:
         vm.run(thread, Method("looper", "app.Edge", body, bytecode_size=100))
         assert deltas["loop"] == 1_000 * 7.5 * factor
 
-    def test_loop_without_osr_leaves_stack_state_alone(self, fast_paths):
+    def test_loop_without_osr_leaves_stack_state_alone(self, exec_backend):
         vm = make_vm()
         thread = vm.spawn_thread()
 

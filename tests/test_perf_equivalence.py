@@ -1,14 +1,15 @@
-"""Differential equivalence suite for the hot-path optimisations.
+"""Differential equivalence suite for the execution backends.
 
-The fast paths (:mod:`repro.fastpath`) are pure reimplementations: with
-them enabled or disabled, every figure/table cell and every perf kernel
-must produce byte-identical results.  Three layers pin that down:
+The fast and compiled backends (:mod:`repro.fastpath`) are pure
+reimplementations: under any of ``reference``/``fast``/``compiled``,
+every figure/table cell and every perf kernel must produce byte-identical
+results.  Three layers pin that down:
 
 * each perf kernel's fingerprint (counters, clock totals, OLD-table
-  checksums, stack states) matches between modes,
+  checksums, stack states) matches across all backends,
 * the rendered ``table1``/``fig6`` artifacts (stdout and ``--json-dir``
-  JSON) match between modes,
-* both modes survive a level-2 invariant verification
+  JSON) match across all backends,
+* every backend survives a level-2 invariant verification
   (``InvariantViolation``-free), and verification does not change the
   kernel fingerprints.
 """
@@ -21,7 +22,7 @@ import pytest
 from repro.analysis import set_default_verify_level
 from repro.bench import perf
 from repro.bench.cli import main
-from repro.fastpath import set_fast_paths
+from repro.fastpath import BACKENDS, set_backend
 
 SEED = 20260805
 
@@ -33,12 +34,12 @@ def tiny_scale(monkeypatch, tmp_path):
 
 
 @contextlib.contextmanager
-def fast_mode(enabled):
-    previous = set_fast_paths(enabled)
+def backend_mode(name):
+    previous = set_backend(name)
     try:
         yield
     finally:
-        set_fast_paths(previous)
+        set_backend(previous)
 
 
 @contextlib.contextmanager
@@ -51,7 +52,7 @@ def verify_level(level):
 
 
 def fingerprint_bytes(result):
-    """The fingerprint serialized the way BENCH_5.json stores it —
+    """The fingerprint serialized the way BENCH_6.json stores it —
     equality must hold at the byte level, not merely ``==``."""
     return json.dumps(result["fingerprint"], sort_keys=True).encode()
 
@@ -71,62 +72,79 @@ class TestKernelEquivalence:
     @pytest.mark.parametrize("kernel", perf.PERF_KERNELS)
     def test_fingerprints_byte_identical(self, kernel):
         ops = perf.kernel_ops(kernel)
-        reference = perf.run_kernel(kernel, SEED, ops, fast=False)
-        fast = perf.run_kernel(kernel, SEED, ops, fast=True)
-        assert fingerprint_bytes(reference) == fingerprint_bytes(fast)
-        # both modes performed the same number of operations
-        assert reference["ops"] == fast["ops"] > 0
+        results = {
+            name: perf.run_kernel(kernel, SEED, ops, name) for name in BACKENDS
+        }
+        reference = results["reference"]
+        for name in BACKENDS:
+            assert fingerprint_bytes(results[name]) == fingerprint_bytes(
+                reference
+            ), name
+            # every backend performed the same number of operations
+            assert results[name]["ops"] == reference["ops"] > 0
 
     @pytest.mark.parametrize("kernel", perf.PERF_KERNELS)
     def test_fingerprints_stable_under_level2_verification(self, kernel):
         """Level-2 verification raises InvariantViolation on any heap or
-        lock-discipline breakage; a clean run proves the optimised paths
-        keep every invariant, and the fingerprint proves verification
-        itself perturbs nothing."""
+        lock-discipline breakage; a clean run proves the optimised
+        backends keep every invariant, and the fingerprint proves
+        verification itself perturbs nothing."""
         ops = perf.kernel_ops(kernel)
-        unverified = perf.run_kernel(kernel, SEED, ops, fast=True)
+        unverified = perf.run_kernel(kernel, SEED, ops, "compiled")
         with verify_level(2):
-            verified_fast = perf.run_kernel(kernel, SEED, ops, fast=True)
-            verified_reference = perf.run_kernel(kernel, SEED, ops, fast=False)
-        assert fingerprint_bytes(verified_fast) == fingerprint_bytes(unverified)
-        assert fingerprint_bytes(verified_reference) == fingerprint_bytes(unverified)
+            for name in BACKENDS:
+                verified = perf.run_kernel(kernel, SEED, ops, name)
+                assert fingerprint_bytes(verified) == fingerprint_bytes(
+                    unverified
+                ), name
+
+    def test_repeat_reports_median_and_cv(self):
+        result = perf.run_kernel("header", SEED, 2_000, "fast", repeat=3)
+        assert result["repeat"] == 3
+        assert len(result["ns_per_op_runs"]) == 3
+        assert result["ns_per_op"] == sorted(result["ns_per_op_runs"])[1]
+        assert result["cv"] >= 0.0
 
 
 class TestArtifactEquivalence:
-    def run_cli(self, tmp_path, capsys, tag, argv, enabled):
+    def run_cli(self, tmp_path, capsys, tag, argv, backend):
         json_dir = tmp_path / tag
-        with fast_mode(enabled):
+        with backend_mode(backend):
             assert main(argv + ["--no-cache", "--json-dir", str(json_dir)]) == 0
         payloads = sorted(json_dir.glob("*.json"))
         assert payloads, "no JSON artifact written"
         return payloads[0].read_bytes(), rendered(capsys)
 
-    def test_table1_byte_identical_across_modes(self, tmp_path, capsys):
+    def test_table1_byte_identical_across_backends(self, tmp_path, capsys):
         argv = ["table1", "--workloads", "lucene"]
-        slow_json, slow_text = self.run_cli(tmp_path, capsys, "ref", argv, False)
-        fast_json, fast_text = self.run_cli(tmp_path, capsys, "fast", argv, True)
-        assert fast_json == slow_json
-        assert fast_text == slow_text
-        assert "Table 1" in fast_text
+        outputs = {
+            name: self.run_cli(tmp_path, capsys, name, argv, name)
+            for name in BACKENDS
+        }
+        for name in BACKENDS:
+            assert outputs[name] == outputs["reference"], name
+        assert "Table 1" in outputs["reference"][1]
 
-    def test_fig6_byte_identical_across_modes(self, tmp_path, capsys):
+    def test_fig6_byte_identical_across_backends(self, tmp_path, capsys):
         argv = ["fig6", "--benchmarks", "avrora"]
-        slow_json, slow_text = self.run_cli(tmp_path, capsys, "ref", argv, False)
-        fast_json, fast_text = self.run_cli(tmp_path, capsys, "fast", argv, True)
-        assert fast_json == slow_json
-        assert fast_text == slow_text
-        assert "Figure 6" in fast_text
+        outputs = {
+            name: self.run_cli(tmp_path, capsys, name, argv, name)
+            for name in BACKENDS
+        }
+        for name in BACKENDS:
+            assert outputs[name] == outputs["reference"], name
+        assert "Figure 6" in outputs["reference"][1]
 
 
 class TestVerifiedModes:
-    @pytest.mark.parametrize("enabled", [False, True], ids=["reference", "fast"])
-    def test_fig6_level2_verify_clean(self, capsys, enabled):
-        with fast_mode(enabled):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fig6_level2_verify_clean(self, capsys, backend):
+        with backend_mode(backend):
             assert main(["fig6", "--benchmarks", "avrora", "--verify"]) == 0
         assert "[verify] level 2: all invariant checks passed" in capsys.readouterr().err
 
-    @pytest.mark.parametrize("enabled", [False, True], ids=["reference", "fast"])
-    def test_table1_level2_verify_clean(self, capsys, enabled):
-        with fast_mode(enabled):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_table1_level2_verify_clean(self, capsys, backend):
+        with backend_mode(backend):
             assert main(["table1", "--workloads", "lucene", "--verify"]) == 0
         assert "[verify] level 2: all invariant checks passed" in capsys.readouterr().err

@@ -1,0 +1,216 @@
+"""Unit tests for the compiled tier's code format and dispatch loop:
+:mod:`repro.runtime.program` (builder, generic replay, lowering) and
+:mod:`repro.runtime.dispatch` (linking, mixed tiers, backend parity).
+"""
+
+import pytest
+
+from repro import build_vm
+from repro.fastpath import BACKENDS, set_backend
+from repro.runtime import Method, VMFlags
+from repro.runtime.dispatch import OP_RETURN, _link
+from repro.runtime.program import (
+    MethodProgram,
+    OP_ALLOC_T,
+    ProgramBuilder,
+    lower_callable,
+)
+
+MID_LIVES = 5_000.0
+
+
+def run_under(backend, workload):
+    previous = set_backend(backend)
+    try:
+        return workload()
+    finally:
+        set_backend(previous)
+
+
+def fingerprint(vm, thread):
+    return {
+        "allocations": vm.allocations,
+        "bytes": vm.bytes_allocated,
+        "now_ns": vm.clock.now_ns,
+        "tax": repr(vm.profiling_tax_ns),
+        "gc_cycles": vm.collector.gc_cycles,
+        "stack_state": thread.stack_state,
+        "exceptions": vm.exceptions_thrown,
+        "biased": thread.biased_objects,
+    }
+
+
+class TestProgramBuilder:
+    def test_operand_tuples_must_parallel_ops(self):
+        with pytest.raises(ValueError):
+            MethodProgram([0], [1], [], [])
+
+    def test_end_repeat_without_repeat(self):
+        with pytest.raises(ValueError):
+            ProgramBuilder().end_repeat()
+
+    def test_unclosed_repeat_rejected(self):
+        builder = ProgramBuilder(nregs=2).repeat(1, 0).work(5.0)
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_generic_replay_steps_index_register(self):
+        seen = []
+
+        class Recorder:
+            def work(self, ns):
+                seen.append(ns)
+
+            def alloc(self, bci, size, lives):
+                seen.append((bci, size))
+
+        program = (
+            ProgramBuilder(nregs=2)
+            .repeat(1, 0)
+            .alloc_table(3, (10, 20), None, 0)
+            .end_repeat()
+            .work(7.0)
+            .build()
+        )
+        program(Recorder(), 4, 3)  # base index 4, three iterations
+        assert seen == [(1, 10), (2, 20), (0, 10), 7.0]
+
+
+class TestLowering:
+    def test_straight_line_body_lowers(self):
+        def body(ctx):
+            """Allocate then spin."""
+            ctx.work(4.0)
+            ctx.alloc(3, 256, MID_LIVES)
+            return None
+
+        program = lower_callable(body)
+        assert program is not None
+        assert len(program.ops) == 2
+
+    def test_callee_resolved_through_closure(self):
+        leaf = Method("leaf", "t.L", ProgramBuilder().build(), bytecode_size=100)
+
+        def body(ctx):
+            ctx.call(1, leaf)
+
+        program = lower_callable(body)
+        assert program is not None
+        assert program.b[0] is leaf
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            lambda ctx, extra: ctx.work(1.0),  # extra parameter
+            lambda ctx: ctx.alloc(1, 64, lives_ns=5.0),  # keyword argument
+            lambda ctx: ctx.bias_lock(None),  # unsupported ctx method
+        ],
+        ids=["extra-param", "kwarg", "unsupported-op"],
+    )
+    def test_unlowerable_shapes_return_none(self, body):
+        assert lower_callable(body) is None
+
+    def test_loop_bodies_stay_callables(self):
+        def body(ctx):
+            for i in range(4):
+                ctx.work(1.0)
+
+        assert lower_callable(body) is None
+
+    def test_computed_arguments_stay_callables(self):
+        def body(ctx):
+            ctx.work(2.0 + 2.0)
+
+        assert lower_callable(body) is None
+
+    def test_program_passthrough(self):
+        program = ProgramBuilder().work(1.0).build()
+        assert lower_callable(program) is program
+
+
+class TestLinking:
+    def test_link_appends_return_and_expands_tables(self):
+        program = (
+            ProgramBuilder(nregs=2)
+            .repeat(1, 0)
+            .alloc_table(5, (64, 96, 128), (1.0, 2.0), 0)
+            .end_repeat()
+            .build()
+        )
+        ops, a, b, c = _link(program)
+        assert ops[-1] == OP_RETURN
+        table = a[ops.index(OP_ALLOC_T)]
+        assert table == (5, (64, 96, 128), 3, (1.0, 2.0), 2)
+        # the REPEAT header's b operand is patched to the linked pc
+        # just past its block (the END_REPEAT back-edge)
+        assert b[0] == ops.index(OP_ALLOC_T) + 2
+
+
+class TestBackendParity:
+    """Small program workloads covering the ops the perf kernels do not:
+    ALLOC with a destination register, BIAS_LOCK, WORK, nested calls.
+    All three backends must agree on every observable."""
+
+    def build_workload(self):
+        def workload():
+            vm, _ = build_vm(
+                "g1",
+                heap_mb=16,
+                flags=VMFlags(compile_threshold=3, call_profiling_mode="slow"),
+            )
+            thread = vm.spawn_thread()
+            leaf = Method(
+                "leaf",
+                "t.P",
+                ProgramBuilder("leaf").work(3.0).build(),
+                bytecode_size=100,
+            )
+            body = (
+                ProgramBuilder("body", nregs=3)
+                .repeat(1, 0)
+                .alloc(1, 128, 2_000.0, dst=2)
+                .bias_lock(2)
+                .call(4, leaf)
+                .work(11.0)
+                .end_repeat()
+                .build()
+            )
+            method = Method("body", "t.P", body, bytecode_size=100)
+            for i in range(40):
+                vm.run(thread, method, i * 8, 8)
+            return fingerprint(vm, thread)
+
+        return workload
+
+    def test_alloc_dst_and_bias_lock_identical_across_backends(self):
+        workload = self.build_workload()
+        results = {name: run_under(name, workload) for name in BACKENDS}
+        assert results["fast"] == results["reference"]
+        assert results["compiled"] == results["reference"]
+        assert results["reference"]["biased"] > 0
+
+    def test_program_shared_across_methods_falls_back(self):
+        """A program body reused under a second Method cannot share the
+        first method's site cache; the dispatch loop must reject it and
+        still execute correctly through the generic path."""
+
+        def workload():
+            vm, _ = build_vm("g1", heap_mb=16, flags=VMFlags(compile_threshold=3))
+            thread = vm.spawn_thread()
+            shared = (
+                ProgramBuilder("shared", nregs=2)
+                .repeat(1, 0)
+                .alloc(1, 64, 1_000.0)
+                .end_repeat()
+                .build()
+            )
+            first = Method("first", "t.S", shared, bytecode_size=100)
+            second = Method("second", "t.S", shared, bytecode_size=100)
+            for i in range(10):
+                vm.run(thread, first, i * 4, 4)
+                vm.run(thread, second, i * 4, 4)
+            return fingerprint(vm, thread)
+
+        results = {name: run_under(name, workload) for name in BACKENDS}
+        assert results["fast"] == results["reference"]
+        assert results["compiled"] == results["reference"]
