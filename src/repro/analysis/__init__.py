@@ -15,6 +15,7 @@ Verification defaults off via :data:`NULL_VERIFIER`; enable it with
 ``VMFlags(verify_level=...)`` or ``rolp-bench --verify``.
 """
 
+from repro.analysis.fuzz_oracle import OracleFinding, judge as judge_fuzz_results
 from repro.analysis.heap_verifier import HeapVerifier
 from repro.analysis.lock_checker import LockDisciplineChecker
 from repro.analysis.suite import (
@@ -35,6 +36,8 @@ __all__ = [
     "HeapVerifier",
     "InvariantViolation",
     "LockDisciplineChecker",
+    "OracleFinding",
+    "judge_fuzz_results",
     "NULL_VERIFIER",
     "NullVerifier",
     "VERIFY_FULL",

@@ -53,7 +53,7 @@ from typing import Dict, List, Optional
 from repro import COLLECTOR_NAMES
 from repro.analysis import InvariantViolation, set_default_verify_level
 from repro.analysis import pause_attribution
-from repro.bench import ablations, artifacts, figures, perf, tables
+from repro.bench import ablations, artifacts, figures, fuzz, perf, tables
 from repro.bench.config import bench_scale
 from repro.bench.runner import (
     DEFAULT_BASE_SEED,
@@ -66,6 +66,7 @@ from repro.bench.runner import (
 )
 from repro.bench.workload_registry import (
     BIG_WORKLOADS,
+    all_workload_names,
     big_workload_ops,
     run_big_workload,
 )
@@ -142,7 +143,7 @@ def _specs(names: Optional[List[str]]):
 
 
 def _check_workloads(names: Optional[List[str]]) -> Optional[List[str]]:
-    _validate("workload", names, sorted(BIG_WORKLOADS))
+    _validate("workload", names, all_workload_names())
     return names
 
 
@@ -223,6 +224,8 @@ def _run_experiments(
     specs,
     explain_capacity: Optional[int] = None,
     perf_repeat: int = 1,
+    fuzz_budget: str = "32",
+    corpus_dir: str = fuzz.DEFAULT_CORPUS_DIR,
 ) -> None:
     """Run each experiment in ``todo``, printing its rendering and
     filling ``payloads`` (split out of :func:`main` so the verification
@@ -295,6 +298,16 @@ def _run_experiments(
             os.makedirs(os.path.dirname(perf.BENCH_JSON), exist_ok=True)
             artifacts.write_json(perf.BENCH_JSON, study)
             print("perf results written to %s" % perf.BENCH_JSON)
+        elif experiment == "fuzz":
+            report = fuzz.fuzz(
+                runner,
+                budget=fuzz_budget,
+                corpus_dir=corpus_dir,
+                progress=lambda msg: print("[fuzz] %s" % msg, file=sys.stderr),
+            )
+            payloads["fuzz"] = report
+            print("[Fuzz] adversarial demography search (oracle: sanitizers + diff)")
+            print(fuzz.render_fuzz_report(report))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -316,6 +329,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "trace",
             "explain",
             "perf",
+            "fuzz",
             "all",
         ],
     )
@@ -424,8 +438,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--report-out",
         metavar="PATH",
         default="pause_report.json",
-        help="where the explain experiment writes pause_report.json "
+        help="where the explain experiment writes its pause report and "
+        "the fuzz experiment writes its search report "
         "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--budget",
+        metavar="N|Ns",
+        default="32",
+        help="fuzz experiment only: search budget, either an evaluation "
+        "count (e.g. 64 — deterministic, byte-identical across --jobs) "
+        "or a time box (e.g. 120s) (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        metavar="DIR",
+        default=fuzz.DEFAULT_CORPUS_DIR,
+        help="fuzz experiment only: where shrunk findings are banked as "
+        "replayable regression-corpus entries (default: %(default)s)",
     )
     parser.add_argument(
         "--trace-max-events",
@@ -516,6 +546,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             specs,
             explain_capacity=recorder_capacity,
             perf_repeat=max(1, args.repeat),
+            fuzz_budget=args.budget,
+            corpus_dir=args.corpus_dir,
         )
     except InvariantViolation as exc:
         print("rolp-bench: invariant violation: %s" % exc, file=sys.stderr)
@@ -563,6 +595,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if "explain" in payloads:
         artifacts.write_json(args.report_out, payloads["explain"])
         print("pause report written to %s" % args.report_out)
+    if "fuzz" in payloads:
+        artifacts.write_json(args.report_out, payloads["fuzz"])
+        print("fuzz report written to %s" % args.report_out)
+        failure_rules = fuzz.report_failure_rules(payloads["fuzz"])
+        if failure_rules:
+            print(
+                "rolp-bench: fuzz findings require attention: %s"
+                % ", ".join(failure_rules),
+                file=sys.stderr,
+            )
+            return 3
     if args.metrics_out:
         artifacts.write_json(
             args.metrics_out,

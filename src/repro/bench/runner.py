@@ -45,7 +45,7 @@ from repro.fastpath import backend, set_backend
 
 #: bump when a cell implementation changes meaning — invalidates every
 #: cached result produced by older code
-CACHE_VERSION = "rolp-bench-cache/v4"
+CACHE_VERSION = "rolp-bench-cache/v5"
 
 #: default base seed; per-cell seeds are derived from it, never used raw
 DEFAULT_BASE_SEED = 42
@@ -181,7 +181,7 @@ def cell_kind(
 def _ensure_kinds() -> None:
     """Import every module that registers cell kinds (needed when a
     worker starts from a fresh interpreter, i.e. spawn start method)."""
-    from repro.bench import ablations, cli, figures, perf, tables  # noqa: F401
+    from repro.bench import ablations, cli, figures, fuzz, perf, tables  # noqa: F401
 
 
 def _execute(cell: Cell, seed: int, telemetry=None):

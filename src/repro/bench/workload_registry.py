@@ -5,10 +5,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from repro.workloads.adversarial import make_adversarial
 from repro.workloads.base import RunResult, Workload, run_workload
 from repro.workloads.graph import GraphChiWorkload
 from repro.workloads.kvstore import CassandraWorkload
 from repro.workloads.search import LuceneWorkload
+from repro.workloads.traced import make_traced_sample
 from repro.bench.config import CASSANDRA_OPS, GRAPHCHI_OPS, LUCENE_OPS, scaled_ops
 
 #: constructors for the paper's six large-scale workloads; every
@@ -36,23 +38,62 @@ BIG_WORKLOAD_OPS: Dict[str, int] = {
     "graphchi-pr": GRAPHCHI_OPS,
 }
 
+#: additional registered workloads (adversarial/traced).  Deliberately a
+#: SEPARATE table: default experiment grids iterate
+#: ``sorted(BIG_WORKLOADS)`` and their goldens must not change when new
+#: scenarios are registered; extras are opt-in via ``--workloads`` and
+#: the fuzz machinery.
+EXTRA_WORKLOADS: Dict[str, Callable[..., Workload]] = {
+    "adversarial": lambda **kwargs: make_adversarial(**kwargs),
+    "traced-sample": lambda **kwargs: make_traced_sample(**kwargs),
+}
+
+#: default (pre-scaling) operation counts for the extras
+EXTRA_WORKLOAD_OPS: Dict[str, int] = {
+    "adversarial": 20_000,
+    "traced-sample": 30_000,
+}
+
+
+def register_workload(
+    name: str, constructor: Callable[..., Workload], default_ops: int
+) -> None:
+    """Register an extra (non-paper) workload.
+
+    It becomes constructable through :func:`make_big_workload` and
+    runnable through the bench layers, without joining the default
+    experiment grids.
+    """
+    if name in BIG_WORKLOADS or name in EXTRA_WORKLOADS:
+        raise ValueError("workload %r already registered" % name)
+    EXTRA_WORKLOADS[name] = constructor
+    EXTRA_WORKLOAD_OPS[name] = default_ops
+
+
+def all_workload_names():
+    """Every constructable workload name (paper six + extras), sorted."""
+    return sorted(set(BIG_WORKLOADS) | set(EXTRA_WORKLOADS))
+
 
 def make_big_workload(name: str, seed: Optional[int] = None) -> Workload:
     """Construct a workload by name; ``seed=None`` keeps each
     workload's own default (the experiment runner passes per-cell
     derived seeds)."""
-    try:
-        constructor = BIG_WORKLOADS[name]
-    except KeyError:
+    constructor = BIG_WORKLOADS.get(name) or EXTRA_WORKLOADS.get(name)
+    if constructor is None:
         raise KeyError(
-            "unknown workload %r (have: %s)" % (name, ", ".join(sorted(BIG_WORKLOADS)))
+            "unknown workload %r (have: %s)"
+            % (name, ", ".join(all_workload_names()))
         )
     return constructor() if seed is None else constructor(seed=seed)
 
 
 def big_workload_ops(name: str) -> int:
-    """The scaled default operation count for one of the six workloads."""
-    return scaled_ops(BIG_WORKLOAD_OPS[name])
+    """The scaled default operation count for a registered workload."""
+    ops = BIG_WORKLOAD_OPS.get(name)
+    if ops is None:
+        ops = EXTRA_WORKLOAD_OPS[name]
+    return scaled_ops(ops)
 
 
 def run_big_workload(

@@ -142,6 +142,28 @@ def analyze_curve(
     )
 
 
+def estimate_drift(previous: InferenceResult, current: InferenceResult) -> float:
+    """Mean |Δ estimated age| over contexts analyzed in both passes.
+
+    The survivor-prediction-error signal the fuzzer maximizes: a stable
+    demography converges (drift → 0); oscillating lifetimes or
+    unresolved conflicts keep the estimates thrashing.  Contexts seen in
+    only one pass carry no comparable estimate and are skipped; 0.0 when
+    no context is shared.
+    """
+    shared = previous.analyses.keys() & current.analyses.keys()
+    if not shared:
+        return 0.0
+    total = sum(
+        abs(
+            current.analyses[context].estimated_age
+            - previous.analyses[context].estimated_age
+        )
+        for context in shared
+    )
+    return total / len(shared)
+
+
 class InferenceEngine:
     """Periodic lifetime inference over the OLD table.
 

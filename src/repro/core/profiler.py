@@ -41,7 +41,7 @@ from repro.core.advice import AdviceTable
 from repro.core.conflicts import ConflictResolver
 from repro.core.context import context_site, encode
 from repro.core.filters import PackageFilter
-from repro.core.inference import InferenceEngine, InferenceResult
+from repro.core.inference import InferenceEngine, InferenceResult, estimate_drift
 from repro.core.old_table import OldTable, WorkerTable
 from repro.core.survivor_tracking import SurvivorTrackingController
 from repro.telemetry import NULL_TELEMETRY
@@ -126,6 +126,12 @@ class RolpProfiler(NullProfiler):
         self.inference_history: List[InferenceResult] = []
         #: contexts whose advice changed, per inference pass (warmup curve)
         self.decision_change_log: List[int] = []
+        #: per-pass estimate drift vs the previous pass (fuzz objective:
+        #: survivor-prediction error); first pass contributes nothing
+        self.prediction_error_log: List[float] = []
+        #: per-pass count of conflicted allocation sites (fuzz
+        #: objective: context-collision pressure)
+        self.conflict_rate_log: List[int] = []
         #: fragmentation evidence accumulated between inference passes:
         #: context -> [evacuated dead bytes, wholesale dead bytes]
         self._frag_evidence: Dict[int, List[int]] = {}
@@ -410,6 +416,11 @@ class RolpProfiler(NullProfiler):
             gc_number,
             pretenured=lambda context: self.advice.generation_for(context) > 0,
         )
+        if self.inference_history:
+            self.prediction_error_log.append(
+                estimate_drift(self.inference_history[-1], result)
+            )
+        self.conflict_rate_log.append(len(result.conflicted_sites))
         self.last_inference = result
         self.inference_history.append(result)
         self.advice.begin_pass()
@@ -546,6 +557,21 @@ class RolpProfiler(NullProfiler):
 
     def conflicts_found(self) -> int:
         return self.resolver.conflicts_seen
+
+    def prediction_error(self) -> float:
+        """Mean per-pass estimate drift (0.0 before the second pass).
+
+        Deliberately NOT part of :meth:`summary` — rendered artifacts
+        and their goldens must not change shape; the fuzz oracle reads
+        this directly."""
+        log = self.prediction_error_log
+        return sum(log) / len(log) if log else 0.0
+
+    def conflict_rate(self) -> float:
+        """Mean conflicted-site count per inference pass (0.0 before
+        the first pass); the fuzzer's context-collision objective."""
+        log = self.conflict_rate_log
+        return sum(log) / len(log) if log else 0.0
 
     def old_table_memory_bytes(self) -> int:
         return self.old_table.memory_bytes()

@@ -14,9 +14,30 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.gc.collector import Collector, PauseEvent
+
+
+class GcLogParseError(ValueError):
+    """A GC log failed strict parsing.
+
+    Carries enough structure for callers (the trace-calibration path,
+    tests) to report *which* line was rejected and why, instead of the
+    lenient parser's silent skip.
+    """
+
+    def __init__(self, reason: str, line_number: int, line: str) -> None:
+        super().__init__(
+            "%s at line %d: %r" % (reason, line_number, line.strip())
+        )
+        #: "malformed" or "out-of-order"
+        self.reason = reason
+        #: 1-based line number in the input text
+        self.line_number = line_number
+        #: the offending line, verbatim
+        self.line = line
+
 
 #: pause kind -> the HotSpot-ish cause string
 _CAUSE = {
@@ -123,13 +144,32 @@ def parse_line(line: str) -> Optional[GcLogRecord]:
     )
 
 
-def parse_log(text: str) -> List[GcLogRecord]:
-    """Parse a full log, skipping non-GC lines."""
-    records = []
-    for line in text.splitlines():
+def parse_log(text: str, strict: bool = False) -> List[GcLogRecord]:
+    """Parse a full log.
+
+    Lenient mode (the default, unchanged behaviour) skips non-GC lines.
+    ``strict=True`` — the mode trace calibration uses — raises
+    :class:`GcLogParseError` instead of silently dropping data:
+
+    * ``"malformed"`` for any non-blank line that is not a well-formed
+      GC line, and
+    * ``"out-of-order"`` when a GC line's timestamp runs backwards
+      relative to the previous GC line (real unified logs are
+      monotonic; a rewind means truncation or interleaved logs, and a
+      demography calibrated from such a log would be silently wrong).
+    """
+    records: List[GcLogRecord] = []
+    last_timestamp = float("-inf")
+    for line_number, line in enumerate(text.splitlines(), start=1):
         record = parse_line(line)
-        if record is not None:
-            records.append(record)
+        if record is None:
+            if strict and line.strip():
+                raise GcLogParseError("malformed", line_number, line)
+            continue
+        if strict and record.timestamp_s < last_timestamp:
+            raise GcLogParseError("out-of-order", line_number, line)
+        last_timestamp = record.timestamp_s
+        records.append(record)
     return records
 
 

@@ -1,0 +1,139 @@
+"""Property tests for the fuzzer's genome model.
+
+The search loop leans on three contracts (docs/fuzzing.md):
+
+* canonical serialization round-trips exactly (cell keys, cache
+  entries and corpus digests all hang off ``encode()``),
+* mutation and shrinking never leave the valid-spec domain, and every
+  shrink candidate strictly reduces complexity (so shrink loops
+  terminate),
+* the whole pipeline is seed-deterministic: same seed => same genome
+  => same operation stream.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import fuzz
+from repro.workloads.adversarial import (
+    BOUNDS,
+    HOSTILE_DEFAULT,
+    AdversarialWorkload,
+    DemographyGenome,
+    random_genome,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+mutation_counts = st.integers(min_value=0, max_value=6)
+
+
+def genome_from(seed: int, mutations: int) -> DemographyGenome:
+    """A valid genome: seeded random start plus a seeded mutation walk
+    (covers regions plain random_genome never emits, e.g. post-shrink
+    shapes)."""
+    rng = random.Random(seed)
+    genome = random_genome(rng)
+    for _ in range(mutations):
+        genome = genome.mutate(rng)
+    return genome
+
+
+class TestSerialization:
+    @settings(max_examples=80, deadline=None)
+    @given(seed=seeds, mutations=mutation_counts)
+    def test_encode_decode_round_trip(self, seed, mutations):
+        genome = genome_from(seed, mutations)
+        assert DemographyGenome.decode(genome.encode()) == genome
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds, mutations=mutation_counts)
+    def test_encode_is_canonical(self, seed, mutations):
+        """Equal genomes encode to equal bytes, and the encoding is its
+        own fixed point through a dict round trip."""
+        genome = genome_from(seed, mutations)
+        again = DemographyGenome.from_dict(json.loads(genome.encode()))
+        assert again.encode() == genome.encode()
+
+    def test_decode_rejects_out_of_domain(self):
+        data = HOSTILE_DEFAULT.as_dict()
+        data["young_regions"] = 1  # single-region eden: collector pathology
+        with pytest.raises(ValueError):
+            DemographyGenome.from_dict(data)
+
+
+class TestSearchOperators:
+    @settings(max_examples=80, deadline=None)
+    @given(seed=seeds, mutations=mutation_counts)
+    def test_mutate_stays_valid(self, seed, mutations):
+        genome = genome_from(seed, mutations)
+        genome.validate()  # the walk itself already validated each step
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds, mutations=mutation_counts)
+    def test_shrink_candidates_stay_valid_and_strictly_simpler(
+        self, seed, mutations
+    ):
+        genome = genome_from(seed, mutations)
+        candidates = genome.shrink_candidates()
+        encodings = [candidate.encode() for candidate in candidates]
+        assert len(set(encodings)) == len(encodings), "duplicate candidates"
+        for candidate in candidates:
+            candidate.validate()
+            assert candidate.complexity() < genome.complexity()
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds, mutations=mutation_counts)
+    def test_shrink_to_fixpoint_terminates_inside_domain(self, seed, mutations):
+        """Greedy always-accept descent bottoms out (complexity is a
+        monotone integer measure) and every step stays valid."""
+        genome = genome_from(seed, mutations)
+        for _ in range(10_000):
+            candidates = genome.shrink_candidates()
+            if not candidates:
+                break
+            genome = candidates[0]
+            genome.validate()
+        else:
+            pytest.fail("shrinking did not terminate")
+        # the fully shrunk genome sits at the domain floor for the
+        # monotone knobs shrinking drives down
+        assert genome.collision_sites == 0
+        assert genome.threads == BOUNDS["threads"][0]
+        assert len(genome.classes) == BOUNDS["classes"][0]
+        assert genome.oscillation_period_ops == 0
+        assert genome.burst_size == 0
+
+
+class TestDeterminism:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds, mutations=mutation_counts)
+    def test_same_seed_same_genome(self, seed, mutations):
+        assert genome_from(seed, mutations).encode() == genome_from(
+            seed, mutations
+        ).encode()
+
+    def test_same_genome_same_op_stream(self):
+        """Two evaluations of one (genome, seed) pair replay the same
+        allocation/call stream — the fingerprint pins every observable:
+        clock totals, GC counts, pause stats, profiler state."""
+        genome_json = HOSTILE_DEFAULT.encode()
+        first = fuzz.evaluate_genome(genome_json, seed=7, ops=600, backend_name="reference")
+        second = fuzz.evaluate_genome(genome_json, seed=7, ops=600, backend_name="reference")
+        assert first["violation"] is None
+        assert json.dumps(first["fingerprint"], sort_keys=True) == json.dumps(
+            second["fingerprint"], sort_keys=True
+        )
+
+    def test_workload_expansion_is_pure(self):
+        """Building the workload twice yields identical method rosters
+        (names and classes), independent of dict iteration order."""
+        first = AdversarialWorkload(HOSTILE_DEFAULT, seed=3)
+        second = AdversarialWorkload(HOSTILE_DEFAULT, seed=3)
+        assert first.max_retained == second.max_retained
+        assert first._class_schedule == second._class_schedule

@@ -9,9 +9,12 @@ import math
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import pytest
+
 from repro.gc.collector import PauseEvent
 from repro.metrics.gclog import (
     _CAUSE,
+    GcLogParseError,
     format_pause,
     kind_for_cause,
     parse_line,
@@ -98,3 +101,79 @@ def test_unknown_kind_uses_fallback_cause():
 def test_kind_for_cause_rejects_noise():
     assert kind_for_cause("Concurrent Mark") is None
     assert kind_for_cause("") is None
+
+
+# -- strict parsing: malformed and out-of-order rejection ---------------------
+
+
+def well_formed_log(starts):
+    """One valid line per start time, in the given order."""
+    lines = []
+    for index, start in enumerate(starts):
+        pause = PauseEvent(
+            gc_number=index, start_ns=start, duration_ns=1e6, kind="young"
+        )
+        lines.append(format_pause(pause, 96, 40, 20))
+    return "\n".join(lines)
+
+
+#: distinct enough that %0.3f-second formatting preserves the ordering
+monotone_starts = st.lists(
+    st.integers(min_value=0, max_value=10**6), min_size=2, max_size=12, unique=True
+).map(lambda ns: sorted(n * 10**7 for n in ns))
+
+garbage_lines = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\n\r"),
+    min_size=1,
+).filter(
+    lambda s: s.strip()
+    and s.splitlines() == [s]  # no exotic line separators (\x1e, U+2028, ...)
+    and parse_line(s) is None
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(starts=monotone_starts)
+def test_strict_accepts_every_well_formed_monotone_log(starts):
+    text = well_formed_log(starts)
+    assert parse_log(text, strict=True) == parse_log(text)
+
+
+@settings(max_examples=100, deadline=None)
+@given(starts=monotone_starts, garbage=garbage_lines, data=st.data())
+def test_strict_rejects_injected_garbage_with_line_number(starts, garbage, data):
+    lines = well_formed_log(starts).splitlines()
+    position = data.draw(st.integers(min_value=0, max_value=len(lines)))
+    lines.insert(position, garbage)
+    text = "\n".join(lines)
+    # lenient mode silently skips the garbage — the exact data-loss
+    # failure mode strict mode exists to surface
+    assert len(parse_log(text)) == len(starts)
+    with pytest.raises(GcLogParseError) as excinfo:
+        parse_log(text, strict=True)
+    assert excinfo.value.reason == "malformed"
+    assert excinfo.value.line_number == position + 1
+    assert excinfo.value.line == garbage
+
+
+@settings(max_examples=100, deadline=None)
+@given(starts=monotone_starts, data=st.data())
+def test_strict_rejects_time_reversal(starts, data):
+    lines = well_formed_log(starts).splitlines()
+    # move a later (strictly larger-timestamp) line in front of an
+    # earlier one: the earlier line is now out of order
+    source = data.draw(st.integers(min_value=1, max_value=len(lines) - 1))
+    moved = lines.pop(source)
+    destination = data.draw(st.integers(min_value=0, max_value=source - 1))
+    lines.insert(destination, moved)
+    with pytest.raises(GcLogParseError) as excinfo:
+        parse_log("\n".join(lines), strict=True)
+    assert excinfo.value.reason == "out-of-order"
+    # lenient mode still returns every line, rewind and all
+    assert len(parse_log("\n".join(lines))) == len(starts)
+
+
+def test_strict_allows_blank_lines_and_equal_timestamps():
+    text = well_formed_log([5_000_000, 5_000_000, 7_000_000]) + "\n\n"
+    records = parse_log(text, strict=True)
+    assert len(records) == 3

@@ -11,7 +11,11 @@ results.  Three layers pin that down:
   JSON) match across all backends,
 * every backend survives a level-2 invariant verification
   (``InvariantViolation``-free), and verification does not change the
-  kernel fingerprints.
+  kernel fingerprints,
+* the hostile demographies (the adversarial fuzz workload and the
+  trace-calibrated replay) fingerprint byte-identically across all
+  backends — equivalence must hold under antagonistic allocation
+  patterns, not just the paper's friendly workloads.
 """
 
 import contextlib
@@ -20,7 +24,7 @@ import json
 import pytest
 
 from repro.analysis import set_default_verify_level
-from repro.bench import perf
+from repro.bench import fuzz, perf
 from repro.bench.cli import main
 from repro.fastpath import BACKENDS, set_backend
 
@@ -104,6 +108,32 @@ class TestKernelEquivalence:
         assert len(result["ns_per_op_runs"]) == 3
         assert result["ns_per_op"] == sorted(result["ns_per_op_runs"])[1]
         assert result["cv"] >= 0.0
+
+
+class TestHostileDemographyEquivalence:
+    """The adversarial and trace-calibrated workloads are built to be
+    hostile (context-collision pressure, lifetime oscillation, bursts);
+    the backends must still agree byte-for-byte — including under the
+    compressed fuzz inference period and live level-2 verification."""
+
+    # op counts chosen as the smallest that still drive GC cycles
+    # through each demography (the traced heap is 96 MB, so it needs
+    # more allocation to reach its first collection)
+    @pytest.mark.parametrize(
+        "workload,ops", [("adversarial", 1_500), ("traced-sample", 2_500)]
+    )
+    def test_fingerprints_byte_identical(self, workload, ops):
+        fingerprints = {
+            name: json.dumps(
+                fuzz.fingerprint_workload(workload, SEED, ops, name),
+                sort_keys=True,
+            ).encode()
+            for name in BACKENDS
+        }
+        reference = fingerprints["reference"]
+        assert json.loads(reference)["gc_cycles"] > 0, "demography produced no GCs"
+        for name in BACKENDS:
+            assert fingerprints[name] == reference, name
 
 
 class TestArtifactEquivalence:

@@ -1,0 +1,115 @@
+"""Trace-calibrated demographies: GC-log -> calibration -> workload.
+
+Covers the calibration arithmetic against the canned sample log, the
+strict-parse rejection contract (a bad log must not silently calibrate
+a wrong demography), registry integration, and determinism of the
+replayed workload.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import fuzz
+from repro.bench.workload_registry import (
+    BIG_WORKLOADS,
+    all_workload_names,
+    big_workload_ops,
+    make_big_workload,
+)
+from repro.metrics.gclog import GcLogParseError, parse_log
+from repro.workloads.traced import (
+    SAMPLE_GC_LOG,
+    TracedWorkload,
+    calibrate,
+    calibrate_log,
+    make_traced_sample,
+)
+
+SEED = 20260805
+
+
+class TestCalibration:
+    def test_sample_log_calibrates(self):
+        calibration = calibrate_log(SAMPLE_GC_LOG)
+        records = parse_log(SAMPLE_GC_LOG)
+        assert calibration.pause_count == len(records) == 12
+        assert calibration.heap_mb == 96
+        assert calibration.live_floor_mb == min(r.heap_after_mb for r in records) == 9
+        # 3 of the 12 sample pauses are mixed
+        assert calibration.mixed_fraction == pytest.approx(0.25)
+        # reclaim fraction is the mean per-pause (before-after)/before
+        expected = sum(
+            (r.heap_before_mb - r.heap_after_mb) / r.heap_before_mb for r in records
+        ) / len(records)
+        assert calibration.reclaim_fraction == pytest.approx(expected)
+        assert 0.0 < calibration.reclaim_fraction < 1.0
+        # growth is measured between consecutive pauses
+        expected_growth = sum(
+            max(0, later.heap_before_mb - earlier.heap_after_mb)
+            for earlier, later in zip(records, records[1:])
+        ) / (len(records) - 1)
+        assert calibration.alloc_mb_per_cycle == pytest.approx(expected_growth)
+
+    def test_needs_at_least_two_records(self):
+        records = parse_log(SAMPLE_GC_LOG)
+        with pytest.raises(ValueError):
+            calibrate(records[:1])
+
+    def test_malformed_line_is_rejected_not_skipped(self):
+        text = SAMPLE_GC_LOG + "\nnot a gc line\n"
+        # the lenient parser (non-calibration consumers) still skips
+        assert len(parse_log(text)) == 12
+        with pytest.raises(GcLogParseError) as excinfo:
+            calibrate_log(text)
+        assert excinfo.value.reason == "malformed"
+        assert excinfo.value.line_number == 13
+
+    def test_out_of_order_log_is_rejected(self):
+        lines = SAMPLE_GC_LOG.splitlines()
+        reversed_log = "\n".join(lines[::-1])
+        with pytest.raises(GcLogParseError) as excinfo:
+            calibrate_log(reversed_log)
+        assert excinfo.value.reason == "out-of-order"
+
+
+class TestWorkload:
+    def test_registry_exposes_traced_and_adversarial(self):
+        names = all_workload_names()
+        assert "traced-sample" in names
+        assert "adversarial" in names
+        # the curated grid is untouched: goldens iterate BIG_WORKLOADS
+        assert "traced-sample" not in BIG_WORKLOADS
+        assert "adversarial" not in BIG_WORKLOADS
+        workload = make_big_workload("traced-sample", seed=SEED)
+        assert isinstance(workload, TracedWorkload)
+        assert workload.name == "traced-sample"
+        assert big_workload_ops("traced-sample") > 0
+
+    def test_demography_follows_calibration(self):
+        workload = make_traced_sample(seed=SEED)
+        calibration = workload.calibration
+        assert workload.heap_mb == calibration.heap_mb
+        # resident set sized from the live floor
+        assert (
+            workload._resident_target
+            == (calibration.live_floor_mb << 20) // TracedWorkload.RESIDENT_SIZE
+        )
+        # survivors live ~2 calibrated GC cycles of allocation volume
+        assert workload._survivor_lifetime_bytes == int(
+            2 * calibration.alloc_mb_per_cycle * (1 << 20)
+        )
+
+    def test_runs_deterministically_with_gc_activity(self):
+        outcomes = [
+            fuzz.evaluate_registered("traced-sample", SEED, 2_500, "reference")
+            for _ in range(2)
+        ]
+        for outcome in outcomes:
+            assert outcome["violation"] is None
+            assert outcome["metrics"]["gc_cycles"] > 0
+        assert json.dumps(outcomes[0]["fingerprint"], sort_keys=True) == json.dumps(
+            outcomes[1]["fingerprint"], sort_keys=True
+        )
