@@ -26,6 +26,12 @@ Pure stdlib ``ast`` — no third-party dependency.  Rules:
     module-level names that shadow builtins, including Java-flavoured
     exception names (``OutOfMemoryError``) whose builtin analogue
     (``MemoryError``) makes ``except`` sites ambiguous.
+``backend-hygiene``
+    sim-core imports of the fast/compiled backend twins
+    (``repro.runtime.dispatch``, ``repro.heap.soa``,
+    ``FastExecutionContext``) outside the sanctioned entry points; the
+    three-way switch in :mod:`repro.fastpath` is how backends are
+    selected, and direct twin imports silently pin one backend.
 
 Waive a finding on its line with ``# rolp-lint: allow[rule]`` (or
 ``allow[*]``).  Exit status: 0 clean, 1 findings, 2 usage/parse errors.
@@ -81,12 +87,35 @@ BUILTIN_NAMES = frozenset(
     name for name in dir(builtins) if not name.startswith("_")
 )
 
+#: Modules that ARE optimised backend twins: importing them couples the
+#: importer to one backend behind the three-way switch's back.
+BACKEND_TWIN_MODULES = frozenset({"repro.runtime.dispatch", "repro.heap.soa"})
+
+#: Twin symbols living inside otherwise-generic modules.
+BACKEND_TWIN_SYMBOLS: Dict[str, frozenset] = {
+    "repro.runtime.interpreter": frozenset({"FastExecutionContext"}),
+}
+
+#: ``repro``-relative paths sanctioned to name the twins directly: the
+#: switch itself, the VM's construction-time backend selection, and the
+#: twin modules.  Everything else in sim-core goes through the switch.
+BACKEND_SANCTIONED = frozenset(
+    {
+        ("fastpath.py",),
+        ("runtime", "vm.py"),
+        ("runtime", "dispatch.py"),
+        ("runtime", "interpreter.py"),
+        ("heap", "soa.py"),
+    }
+)
+
 RULES: Dict[str, str] = {
     "unseeded-random": "randomness must come from seeded random.Random instances",
     "wall-clock": "sim-core code must read time through repro.runtime.clock",
     "mutable-default": "mutable default argument values are shared between calls",
     "unordered-iteration": "set iteration order must not feed ordered output",
     "builtin-shadowing": "module-level name shadows a Python builtin",
+    "backend-hygiene": "backend twins are selected via repro.fastpath, not imported directly",
     "parse-error": "file could not be parsed",
 }
 
@@ -122,13 +151,30 @@ def _classify(path: str) -> Tuple[bool, bool]:
     return True, False
 
 
+def _backend_sanctioned(path: str) -> bool:
+    """Whether ``path`` may import the backend twins directly."""
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    if "repro" in parts:
+        rel = tuple(parts[parts.index("repro") + 1 :])
+        return rel in BACKEND_SANCTIONED
+    return False
+
+
 class _FileLinter(ast.NodeVisitor):
     """Single-file rule engine; findings accumulate in ``findings``."""
 
-    def __init__(self, path: str, source: str, sim_core: bool, clock_exempt: bool) -> None:
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        sim_core: bool,
+        clock_exempt: bool,
+        backend_scope: bool = False,
+    ) -> None:
         self.path = path
         self.sim_core = sim_core
         self.clock_exempt = clock_exempt
+        self.backend_scope = backend_scope
         self.findings: List[Finding] = []
         self._lines = source.splitlines()
         #: local names bound to the random / time / datetime modules
@@ -170,8 +216,35 @@ class _FileLinter(ast.NodeVisitor):
                 self._time_mods.add(bound)
             elif alias.name == "datetime":
                 self._datetime_mods.add(bound)
+            elif self.backend_scope and alias.name in BACKEND_TWIN_MODULES:
+                self._report(
+                    node,
+                    "backend-hygiene",
+                    "%s is a backend twin; select backends through "
+                    "repro.fastpath's switch instead of importing it directly"
+                    % alias.name,
+                )
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.backend_scope:
+            if node.module in BACKEND_TWIN_MODULES:
+                self._report(
+                    node,
+                    "backend-hygiene",
+                    "%s is a backend twin; select backends through "
+                    "repro.fastpath's switch instead of importing from it"
+                    % node.module,
+                )
+            elif node.module in BACKEND_TWIN_SYMBOLS:
+                twins = BACKEND_TWIN_SYMBOLS[node.module]
+                for alias in node.names:
+                    if alias.name in twins:
+                        self._report(
+                            node,
+                            "backend-hygiene",
+                            "%s is a backend twin; the VM picks the execution "
+                            "context from repro.fastpath's switch" % alias.name,
+                        )
         if node.module == "random":
             for alias in node.names:
                 if alias.name == "SystemRandom":
@@ -428,7 +501,8 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
         return [
             Finding(path, exc.lineno or 1, (exc.offset or 0) + 1, "parse-error", str(exc.msg))
         ]
-    linter = _FileLinter(path, source, sim_core, clock_exempt)
+    backend_scope = sim_core and not _backend_sanctioned(path)
+    linter = _FileLinter(path, source, sim_core, clock_exempt, backend_scope)
     linter.visit(module)
     linter.check_module_bindings(module)
     return linter.findings

@@ -1,0 +1,554 @@
+"""Static program verifier: an abstract interpreter over MethodProgram ops.
+
+The compiled tier (PR 7) made every lowerable workload body a flat
+:class:`~repro.runtime.program.MethodProgram` — an analyzable IR.  This
+module proves, *before a single op executes*, the structural invariants
+the dispatch loop otherwise only discovers by crashing mid-simulation:
+
+============================================ ==================================
+rule id                                      what it proves
+============================================ ==================================
+``program/operand-shape``                    operand tuples parallel the op
+                                             array, opcodes are known, operand
+                                             types/domains are valid, register
+                                             indices are in ``[0, nregs)``
+``program/repeat-nesting``                   every ``REPEAT`` body is a
+                                             well-nested, in-bounds block
+``program/register-use-before-def``          ``BIAS_LOCK`` only reads registers
+                                             holding an object on every path
+                                             (an ``ALLOC`` dst, or an argument
+                                             register when ``arity`` says the
+                                             caller passes one)
+``program/unreachable-op``                   no op follows ``THROW`` inside the
+                                             same block (a throw always unwinds
+                                             at least the throwing frame)
+``program/throw-depth``                      ``handled_depth`` is a
+                                             non-negative int (the
+                                             ``SimException`` constructor
+                                             contract), and — when the program
+                                             is verified as a known call-tree
+                                             root — no throw is statically
+                                             guaranteed to escape the root
+``program/stack-wrap``                       no unconditional call cycle among
+                                             program bodies: branch-free op
+                                             streams execute every non-REPEAT
+                                             op, so such a cycle is guaranteed
+                                             infinite recursion and unbounded
+                                             16-bit stack-state accumulation
+                                             (wraparound conflicts)
+``program/clock-accounting``                 tick operands are finite and
+                                             non-negative (``SimClock``
+                                             refuses to move backwards), and
+                                             the symbolic per-op tick sum of
+                                             the generic backends equals what
+                                             ``dispatch.py``'s combined-add
+                                             fast path charges, over a probe
+                                             grid of overhead factors and
+                                             profiling taxes
+============================================ ==================================
+
+Every rule raises :class:`repro.analysis.violations.InvariantViolation`
+with a stable rule id, exactly like the runtime sanitizer suite (PR 3).
+The verifier is read-only: it never touches the clock, the RNG, or any
+VM state, which is what lets the ``ROLP_STATIC_CHECK=1`` gate promise
+byte-identical runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.violations import InvariantViolation
+from repro.runtime.interpreter import DEFAULT_CALL_OVERHEAD_NS
+from repro.runtime.method import Method
+from repro.runtime.program import (
+    OP_ALLOC,
+    OP_ALLOC_T,
+    OP_BIAS_LOCK,
+    OP_CALL,
+    OP_LOOP,
+    OP_NAMES,
+    OP_REPEAT,
+    OP_THROW,
+    OP_WORK,
+    MethodProgram,
+)
+
+#: stable rule ids -> one-line description (docs/static-analysis.md table)
+VERIFIER_RULES = {
+    "program/operand-shape": "operand arrays parallel, opcodes known, operand domains valid",
+    "program/repeat-nesting": "REPEAT bodies well nested and in bounds",
+    "program/register-use-before-def": "BIAS_LOCK reads only object-defined registers",
+    "program/unreachable-op": "no op after THROW in the same block",
+    "program/throw-depth": "handled_depth valid; no guaranteed escape past a known root",
+    "program/stack-wrap": "no unconditional call cycle (unbounded 16-bit stack-state wrap)",
+    "program/clock-accounting": "tick operands in domain; generic and dispatch tick sums agree",
+}
+
+#: mutator overhead factors probed by the symbolic tick check — covers
+#: every shipped collector (1.0 for the stop-the-world family, 1.22 for
+#: ZGC) plus off-grid values that expose truncation-order mistakes
+PROBE_FACTORS = (1.0, 1.22, 0.5, 1.07)
+#: profiling taxes probed (2 * call_{slow,fast}_ns for shipped configs,
+#: plus zero and an off-grid value)
+PROBE_TAXES = (12.0, 3.0, 0.0, 7.7)
+
+#: path-explosion guard for call-tree walks
+MAX_TREE_DEPTH = 64
+
+
+def _violation(rule: str, message: str, **details: Any) -> InvariantViolation:
+    return InvariantViolation(rule, message, **details)
+
+
+# -------------------------------------------------------------- tick semantics
+#
+# Two independent renderings of the clock charges.  ``_generic_ticks``
+# transcribes what ExecutionContext/FastExecutionContext charge through
+# SimClock.advance_mutator (each charge truncated on its own);
+# ``_dispatch_ticks`` transcribes the hoisted constants of
+# CompiledExecutionContext._dispatch (the combined add
+# ``slow_tick + call_tick`` is a sum of two separately truncated ints).
+# If a future edit changes one side's truncation structure without the
+# other, the probe grid below catches the divergence statically.
+
+def _generic_op_tick(op: int, a: Any, b: Any, factor: float, tax: float) -> int:
+    if op == OP_WORK:
+        return int(a * factor)
+    if op == OP_LOOP:
+        return int(a * b * factor)
+    if op == OP_CALL:
+        # charge_profiling(tax) then charge_mutator(DEFAULT_CALL_OVERHEAD_NS)
+        return int(tax * factor) + int(DEFAULT_CALL_OVERHEAD_NS * factor)
+    return 0
+
+
+def _dispatch_op_tick(op: int, a: Any, b: Any, factor: float, tax: float) -> int:
+    if op == OP_WORK:
+        return int(a * factor)
+    if op == OP_LOOP:
+        return int(a * b * factor)
+    if op == OP_CALL:
+        # hoisted: profiling_tick + call_tick, each truncated once, then
+        # landed on the clock as one combined add
+        profiling_tick = int(tax * factor)
+        call_tick = int(DEFAULT_CALL_OVERHEAD_NS * factor)
+        return profiling_tick + call_tick
+    return 0
+
+
+def symbolic_tick_sum(
+    program: MethodProgram, factor: float, tax: float
+) -> Tuple[int, int]:
+    """``(generic_total, dispatch_total)`` for one visit of every op.
+
+    Per-op charges are loop-invariant, so single-visit equality implies
+    equality for any REPEAT iteration counts.
+    """
+    generic = 0
+    dispatch = 0
+    for pc, op in enumerate(program.ops):
+        a, b = program.a[pc], program.b[pc]
+        generic += _generic_op_tick(op, a, b, factor, tax)
+        dispatch += _dispatch_op_tick(op, a, b, factor, tax)
+    return generic, dispatch
+
+
+# ------------------------------------------------------------------- verifier
+
+def _is_real(value: Any) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+class _ProgramChecker:
+    """One verification pass over one program."""
+
+    def __init__(self, program: MethodProgram, name: str, arity: int) -> None:
+        self.program = program
+        self.name = name
+        self.ops = program.ops
+        self.a = program.a
+        self.b = program.b
+        self.c = program.c
+        self.nregs = program.nregs
+        # argument registers may hold objects passed by a root caller;
+        # nested program callees never receive args (dispatch zero-fills
+        # their register file), so the default arity is 0
+        self.arity = max(0, min(arity, self.nregs))
+
+    def fail(self, rule: str, message: str, pc: Optional[int] = None, **details: Any):
+        details.setdefault("program", self.name)
+        if pc is not None:
+            details.setdefault("pc", pc)
+            op = self.ops[pc] if 0 <= pc < len(self.ops) else None
+            details.setdefault("op", OP_NAMES.get(op, repr(op)))
+        raise _violation(rule, message, **details)
+
+    def check(self) -> None:
+        n = len(self.ops)
+        if not (len(self.a) == len(self.b) == len(self.c) == n):
+            self.fail(
+                "program/operand-shape",
+                "operand tuples do not parallel the op array",
+                lengths=[n, len(self.a), len(self.b), len(self.c)],
+            )
+        if self.nregs < 0:
+            self.fail("program/operand-shape", "negative register count")
+        defined = set(range(self.arity))
+        self._check_block(0, n, defined)
+        self._check_ticks()
+
+    # -- structural walk ----------------------------------------------------
+
+    def _reg(self, value: Any, pc: int, slot: str, allow_unset: bool = False) -> int:
+        if allow_unset and value == -1:
+            return -1
+        if not isinstance(value, int) or not (0 <= value < self.nregs):
+            self.fail(
+                "program/operand-shape",
+                "%s register %r out of range [0, %d)" % (slot, value, self.nregs),
+                pc=pc,
+            )
+        return value
+
+    def _check_block(self, pc: int, end: int, defined: Set[int]) -> None:
+        """Walk one block, mirroring ``MethodProgram._run_block``.
+
+        ``defined`` is the set of registers known to hold an object on
+        entry; mutated in place for straight-line defs, copied for
+        REPEAT bodies (which may run zero times).
+        """
+        thrown_at: Optional[int] = None
+        while pc < end:
+            if thrown_at is not None:
+                self.fail(
+                    "program/unreachable-op",
+                    "op is unreachable: THROW at pc %d always unwinds this frame"
+                    % thrown_at,
+                    pc=pc,
+                    thrown_at=thrown_at,
+                )
+            op = self.ops[pc]
+            a, b, c = self.a[pc], self.b[pc], self.c[pc]
+            if op == OP_CALL:
+                if not isinstance(a, int) or a < 0:
+                    self.fail("program/operand-shape", "CALL bci must be int >= 0", pc=pc)
+                if not isinstance(b, Method):
+                    self.fail(
+                        "program/operand-shape",
+                        "CALL target must be a Method, got %r" % type(b).__name__,
+                        pc=pc,
+                    )
+            elif op == OP_ALLOC:
+                self._check_alloc(pc, a, b, c, defined)
+            elif op == OP_ALLOC_T:
+                self._check_alloc_table(pc, a, c)
+            elif op == OP_WORK:
+                if not _is_real(a) or a < 0:
+                    self.fail(
+                        "program/clock-accounting",
+                        "WORK tick %r is not a finite non-negative duration "
+                        "(SimClock refuses to move backwards)" % (a,),
+                        pc=pc,
+                    )
+            elif op == OP_LOOP:
+                if not isinstance(a, int) or a < 0:
+                    self.fail(
+                        "program/operand-shape", "LOOP iterations must be int >= 0", pc=pc
+                    )
+                if not _is_real(b) or b < 0:
+                    self.fail(
+                        "program/clock-accounting",
+                        "LOOP per-iteration tick %r is not a finite non-negative "
+                        "duration" % (b,),
+                        pc=pc,
+                    )
+            elif op == OP_THROW:
+                if not isinstance(a, str):
+                    self.fail(
+                        "program/operand-shape", "THROW message must be a str", pc=pc
+                    )
+                if not isinstance(b, int) or b < 0:
+                    self.fail(
+                        "program/throw-depth",
+                        "THROW handled_depth %r violates the SimException "
+                        "contract (int >= 0)" % (b,),
+                        pc=pc,
+                    )
+                thrown_at = pc
+            elif op == OP_BIAS_LOCK:
+                reg = self._reg(c, pc, "BIAS_LOCK")
+                if reg not in defined:
+                    self.fail(
+                        "program/register-use-before-def",
+                        "BIAS_LOCK reads r%d before any ALLOC defines it "
+                        "(registers default to 0, not an object)" % reg,
+                        pc=pc,
+                        register=reg,
+                    )
+            elif op == OP_REPEAT:
+                self._reg(a, pc, "REPEAT count")
+                self._reg(c, pc, "REPEAT index")
+                if not isinstance(b, int) or b < 0:
+                    self.fail(
+                        "program/repeat-nesting",
+                        "REPEAT body length %r is not an int >= 0 "
+                        "(unclosed repeat block?)" % (b,),
+                        pc=pc,
+                    )
+                body_end = pc + 1 + b
+                if body_end > end:
+                    self.fail(
+                        "program/repeat-nesting",
+                        "REPEAT body [%d, %d) overflows its enclosing block "
+                        "(ends at %d)" % (pc + 1, body_end, end),
+                        pc=pc,
+                    )
+                # the body may run zero times: defs made inside it are
+                # not available after the block
+                self._check_block(pc + 1, body_end, set(defined))
+                pc = body_end
+                continue
+            else:
+                self.fail("program/operand-shape", "unknown opcode %r" % (op,), pc=pc)
+            pc += 1
+
+    def _check_alloc(self, pc: int, a: Any, b: Any, c: Any, defined: Set[int]) -> None:
+        if not isinstance(a, int) or a < 0:
+            self.fail("program/operand-shape", "ALLOC bci must be int >= 0", pc=pc)
+        if not isinstance(b, tuple) or len(b) != 2:
+            self.fail(
+                "program/operand-shape", "ALLOC operand must be (size, lives_ns)", pc=pc
+            )
+        size, lives = b
+        if not isinstance(size, int) or size <= 0:
+            self.fail("program/operand-shape", "ALLOC size must be int > 0", pc=pc)
+        if lives is not None and (not _is_real(lives) or lives <= 0):
+            self.fail(
+                "program/operand-shape",
+                "ALLOC lives_ns must be None or a finite positive duration",
+                pc=pc,
+            )
+        dst = self._reg(c, pc, "ALLOC dst", allow_unset=True)
+        if dst >= 0:
+            defined.add(dst)
+
+    def _check_alloc_table(self, pc: int, a: Any, c: Any) -> None:
+        if not isinstance(a, tuple) or len(a) != 3:
+            self.fail(
+                "program/operand-shape",
+                "ALLOC_T operand must be (bci_mod, sizes, lives)",
+                pc=pc,
+            )
+        bci_mod, sizes, lives = a
+        if not isinstance(bci_mod, int) or bci_mod <= 0:
+            self.fail("program/operand-shape", "ALLOC_T bci_mod must be int > 0", pc=pc)
+        if not isinstance(sizes, tuple) or not sizes or not all(
+            isinstance(size, int) and size > 0 for size in sizes
+        ):
+            self.fail(
+                "program/operand-shape",
+                "ALLOC_T sizes must be a non-empty tuple of int > 0",
+                pc=pc,
+            )
+        if lives is not None and (
+            not isinstance(lives, tuple)
+            or not lives
+            or not all(_is_real(entry) and entry > 0 for entry in lives)
+        ):
+            self.fail(
+                "program/operand-shape",
+                "ALLOC_T lives must be None or a non-empty tuple of finite "
+                "positive durations",
+                pc=pc,
+            )
+        self._reg(c, pc, "ALLOC_T index")
+
+    # -- symbolic clock accounting ------------------------------------------
+
+    def _check_ticks(self) -> None:
+        for factor in PROBE_FACTORS:
+            for tax in PROBE_TAXES:
+                generic, dispatch = symbolic_tick_sum(self.program, factor, tax)
+                if generic != dispatch:
+                    self.fail(
+                        "program/clock-accounting",
+                        "static tick sum diverges between the generic backends "
+                        "(%d) and the dispatch fast path (%d) at factor=%s "
+                        "tax=%s" % (generic, dispatch, factor, tax),
+                        factor=factor,
+                        tax=tax,
+                    )
+
+
+def verify_program(
+    program: MethodProgram,
+    name: Optional[str] = None,
+    arity: int = 0,
+) -> Dict[str, Any]:
+    """Verify one program; raises :class:`InvariantViolation` on the
+    first rule violated, returns a small summary dict when clean.
+
+    ``arity`` is the number of argument registers a root caller seeds
+    (``vm.run(thread, method, *args)``); nested program callees always
+    start from an all-zero register file, so their arity is 0.
+    """
+    checker = _ProgramChecker(program, name or program.name, arity)
+    checker.check()
+    return {"name": checker.name, "ops": len(program.ops), "nregs": program.nregs}
+
+
+# ------------------------------------------------------------------ call tree
+
+def program_callees(program: MethodProgram) -> List[Tuple[int, Method, bool]]:
+    """``(pc, callee, guarded)`` for every CALL op; ``guarded`` marks
+    calls inside a REPEAT body (data-dependent iteration count — the
+    call is not unconditionally executed)."""
+    out: List[Tuple[int, Method, bool]] = []
+    guard_ends: List[int] = []
+    for pc, op in enumerate(program.ops):
+        while guard_ends and pc >= guard_ends[-1]:
+            guard_ends.pop()
+        if op == OP_REPEAT and isinstance(program.b[pc], int):
+            guard_ends.append(pc + 1 + program.b[pc])
+        elif op == OP_CALL and isinstance(program.b[pc], Method):
+            out.append((pc, program.b[pc], bool(guard_ends)))
+    return out
+
+
+def _program_of_method(method: Method) -> Optional[MethodProgram]:
+    body = method.body
+    return body if isinstance(body, MethodProgram) else None
+
+
+def verify_call_tree(
+    program: MethodProgram,
+    name: Optional[str] = None,
+    arity: int = 0,
+    assume_root: bool = False,
+) -> Dict[str, Any]:
+    """Verify ``program`` and every program-typed callee reachable from
+    it.
+
+    Checks, beyond the per-program rules:
+
+    * ``program/stack-wrap`` — an *unconditional* call cycle among the
+      reachable programs.  Op streams are branch-free, so every
+      non-REPEAT call executes on every visit: such a cycle is
+      guaranteed infinite recursion, and each recursion level adds its
+      call-site increment to the 16-bit thread stack state without
+      bound — wraparound context collisions by construction.
+    * ``program/throw-depth`` (root mode only) — with ``assume_root``
+      the caller asserts nothing sits above ``program`` on the
+      simulated stack (``vm.run`` roots), so a THROW whose
+      ``handled_depth`` exceeds the deepest static path to its frame is
+      statically guaranteed to escape the root.
+
+    Callees whose bodies are Python callables are opaque leaves here;
+    the context analyzer (``contexts.py``) covers them separately.
+    """
+    root_name = name or program.name
+    verified: Dict[int, str] = {}
+
+    # -- reachability + per-program verification ----------------------------
+    depth_of: Dict[int, int] = {id(program): 1}
+    order: List[MethodProgram] = [program]
+    names: Dict[int, str] = {id(program): root_name}
+    queue: List[Tuple[MethodProgram, int]] = [(program, 1)]
+    edges: Dict[int, List[Tuple[int, bool]]] = {}
+    by_id: Dict[int, MethodProgram] = {id(program): program}
+    while queue:
+        current, depth = queue.pop(0)
+        key = id(current)
+        if key not in verified:
+            verify_program(
+                current,
+                name=names.get(key, current.name),
+                arity=arity if current is program else 0,
+            )
+            verified[key] = names.get(key, current.name)
+        edges.setdefault(key, [])
+        for _pc, callee, guarded in program_callees(current):
+            callee_program = _program_of_method(callee)
+            if callee_program is None:
+                continue
+            callee_key = id(callee_program)
+            edges[key].append((callee_key, guarded))
+            if callee_key not in by_id:
+                by_id[callee_key] = callee_program
+                names[callee_key] = callee.qualified_name
+                order.append(callee_program)
+            next_depth = min(depth + 1, MAX_TREE_DEPTH)
+            if next_depth > depth_of.get(callee_key, 0):
+                depth_of[callee_key] = next_depth
+                if next_depth < MAX_TREE_DEPTH:
+                    queue.append((callee_program, next_depth))
+
+    # -- unconditional call cycles ------------------------------------------
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {key: WHITE for key in by_id}
+    stack_path: List[int] = []
+
+    def visit(key: int) -> None:
+        color[key] = GREY
+        stack_path.append(key)
+        for callee_key, guarded in edges.get(key, []):
+            if guarded:
+                continue  # REPEAT-guarded: iteration count is data-dependent
+            if color.get(callee_key, WHITE) == GREY:
+                cycle = stack_path[stack_path.index(callee_key):] + [callee_key]
+                raise _violation(
+                    "program/stack-wrap",
+                    "unconditional call cycle %s: guaranteed infinite recursion "
+                    "and unbounded 16-bit stack-state accumulation"
+                    % " -> ".join(names.get(k, "<program>") for k in cycle),
+                    cycle=[names.get(k, "<program>") for k in cycle],
+                )
+            if color.get(callee_key, WHITE) == WHITE:
+                visit(callee_key)
+        stack_path.pop()
+        color[key] = BLACK
+
+    visit(id(program))
+
+    # -- root-escape throw depths -------------------------------------------
+    if assume_root:
+        for prog in order:
+            max_depth = depth_of[id(prog)]
+            for pc, op in enumerate(prog.ops):
+                if op != OP_THROW:
+                    continue
+                handled = prog.b[pc]
+                if isinstance(handled, int) and handled > max_depth:
+                    raise _violation(
+                        "program/throw-depth",
+                        "THROW at pc %d of %s has handled_depth %d but only "
+                        "%d frame(s) separate it from the analyzed root — the "
+                        "exception always escapes"
+                        % (pc, names[id(prog)], handled, max_depth),
+                        program=names[id(prog)],
+                        pc=pc,
+                        handled_depth=handled,
+                        max_static_depth=max_depth,
+                    )
+
+    return {
+        "root": root_name,
+        "programs": len(by_id),
+        "names": [names[id(prog)] for prog in order],
+    }
+
+
+def collect_violations(
+    programs: Iterable[Tuple[MethodProgram, str]],
+) -> List[InvariantViolation]:
+    """Report mode: verify each program, collecting (at most one per
+    program) instead of raising."""
+    violations: List[InvariantViolation] = []
+    for program, name in programs:
+        try:
+            verify_program(program, name=name)
+        except InvariantViolation as violation:
+            violations.append(violation)
+    return violations

@@ -308,6 +308,16 @@ def _run_experiments(
             payloads["fuzz"] = report
             print("[Fuzz] adversarial demography search (oracle: sanitizers + diff)")
             print(fuzz.render_fuzz_report(report))
+        elif experiment == "staticcheck":
+            from repro.analysis import staticcheck
+
+            report = staticcheck.run_staticcheck(workloads, corpus_dir=corpus_dir)
+            payloads["staticcheck"] = report
+            print(
+                "[StaticCheck] program verifier + ahead-of-time "
+                "context-conflict analyzer"
+            )
+            print(staticcheck.render_report(report))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -330,6 +340,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "explain",
             "perf",
             "fuzz",
+            "staticcheck",
             "all",
         ],
     )
@@ -438,9 +449,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--report-out",
         metavar="PATH",
         default="pause_report.json",
-        help="where the explain experiment writes its pause report and "
-        "the fuzz experiment writes its search report "
-        "(default: %(default)s)",
+        help="where the explain experiment writes its pause report, "
+        "the fuzz experiment writes its search report, and the "
+        "staticcheck experiment writes its analysis report "
+        "(default: %(default)s; staticcheck defaults to "
+        "staticcheck_report.json)",
     )
     parser.add_argument(
         "--budget",
@@ -603,6 +616,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 "rolp-bench: fuzz findings require attention: %s"
                 % ", ".join(failure_rules),
+                file=sys.stderr,
+            )
+            return 3
+    if "staticcheck" in payloads:
+        from repro.analysis.staticcheck import report_violation_rules
+
+        static_out = (
+            args.report_out
+            if args.report_out != "pause_report.json"
+            else "staticcheck_report.json"
+        )
+        artifacts.write_json(static_out, payloads["staticcheck"])
+        print("staticcheck report written to %s" % static_out)
+        violation_rules = report_violation_rules(payloads["staticcheck"])
+        if violation_rules:
+            print(
+                "rolp-bench: staticcheck verifier violations: %s"
+                % ", ".join(violation_rules),
                 file=sys.stderr,
             )
             return 3

@@ -338,11 +338,30 @@ def _finding_holds(runner: Runner, rule_id: str, ops: int):
     return holds
 
 
-def _conflict_holds(runner: Runner, threshold: float, ops: int):
+def _conflict_holds(
+    runner: Runner,
+    threshold: float,
+    ops: int,
+    stats: Optional[Dict[str, int]] = None,
+):
     """Predicate: the candidate still clears the conflict-rate
-    threshold on the reference backend (cheap single-cell eval)."""
+    threshold on the reference backend (cheap single-cell eval).
+
+    Consults the static context-conflict predictor first
+    (:func:`repro.analysis.staticcheck.static_conflict_pressure`): a
+    genome with zero statically-reachable conflict sites cannot clear
+    any positive conflict threshold, so the simulation is skipped
+    outright.  The predictor guarantees zero false negatives (see
+    tests/test_staticcheck_crossval.py), so skipping is sound."""
+    from repro.analysis.staticcheck import static_conflict_pressure
 
     def holds(candidate: DemographyGenome) -> bool:
+        if stats is not None:
+            stats["consulted"] += 1
+        if threshold > 0 and static_conflict_pressure(candidate) == 0:
+            if stats is not None:
+                stats["simulations_skipped"] += 1
+            return False
         by_backend = evaluate_batch(runner, [candidate], ops, backends=("reference",))[0]
         outcome = by_backend["reference"]
         if outcome["violation"]:
@@ -637,8 +656,11 @@ def fuzz(
     # Bank the conflict-objective winner when it clears the acceptance
     # ratio at corpus ops (shrunk against that same threshold).
     objective_entry: Optional[str] = None
+    predictor_stats = {"consulted": 0, "simulations_skipped": 0}
     if "conflicts" in best:
-        holds = _conflict_holds(runner, conflict_threshold, CORPUS_OPS)
+        holds = _conflict_holds(
+            runner, conflict_threshold, CORPUS_OPS, stats=predictor_stats
+        )
         winner = best["conflicts"][1]
         if holds(winner):
             shrunk = shrink_genome(winner, holds)
@@ -694,6 +716,7 @@ def fuzz(
         },
         "findings": findings_log,
         "corpus_entries": banked,
+        "static_predictor": predictor_stats,
     }
 
 

@@ -120,6 +120,68 @@ def _table_checksum(table) -> int:
 KernelRun = Callable[[], Tuple[int, Dict[str, object]]]
 
 
+def _alloc_loop_method(sizes: List[int], lives: List[int]) -> Method:
+    # body(ctx, start, count): for i in range(count): j = start + i;
+    # ctx.alloc(j % 7, sizes[j % 997], lives[j % 991])
+    builder = ProgramBuilder("allocLoop", nregs=2)
+    builder.repeat(1, 0)
+    builder.alloc_table(7, sizes, lives, 0)
+    builder.end_repeat()
+    return Method("allocLoop", "bench.perf.Alloc", builder.build(), bytecode_size=120)
+
+
+def _call_tree_methods() -> Tuple[Method, Method, Method, Method]:
+    # bytecode_size > inline_max_size keeps every site out of inlining,
+    # so each carries a real stack-state increment once jitted
+    leaf_a = Method(
+        "leafA", "bench.perf.Call", ProgramBuilder("leafA").build(), bytecode_size=100
+    )
+    leaf_b = Method(
+        "leafB", "bench.perf.Call", ProgramBuilder("leafB").build(), bytecode_size=100
+    )
+    mid = Method(
+        "mid",
+        "bench.perf.Call",
+        ProgramBuilder("mid").call(1, leaf_a).call(2, leaf_b).build(),
+        bytecode_size=100,
+    )
+    # root(ctx, count): for _ in range(count): ctx.call(1, mid); ctx.call(2, mid)
+    root_builder = ProgramBuilder("root", nregs=2)
+    root_builder.repeat(0, 1)
+    root_builder.call(1, mid)
+    root_builder.call(2, mid)
+    root_builder.end_repeat()
+    root = Method("root", "bench.perf.Call", root_builder.build(), bytecode_size=100)
+    return root, mid, leaf_a, leaf_b
+
+
+def _copy_fill_method(sizes: List[int]) -> Method:
+    # fill(ctx, start, count): immortal allocs — survive every GC
+    builder = ProgramBuilder("fill", nregs=2)
+    builder.repeat(1, 0)
+    builder.alloc_table(5, sizes, None, 0)
+    builder.end_repeat()
+    return Method("fill", "bench.perf.Copy", builder.build(), bytecode_size=120)
+
+
+def kernel_programs(seed: int = 0) -> List[Tuple[Method, int]]:
+    """The shipped perf-kernel root methods and their root arities.
+
+    ``rolp-bench staticcheck`` verifies every :class:`MethodProgram`
+    reachable from these roots; the kernels themselves build identical
+    programs (same builders, same operand tables).
+    """
+    rng = random.Random(seed)
+    alloc_sizes = [rng.choice((64, 128, 192, 256, 384, 512)) for _ in range(997)]
+    alloc_lives = [rng.choice((5_000, 50_000, 500_000)) for _ in range(991)]
+    copy_sizes = [rng.choice((96, 128, 160, 192, 256)) for _ in range(997)]
+    return [
+        (_alloc_loop_method(alloc_sizes, alloc_lives), 2),
+        (_call_tree_methods()[0], 1),
+        (_copy_fill_method(copy_sizes), 2),
+    ]
+
+
 def _kernel_alloc(seed: int, ops: int) -> KernelRun:
     """The allocation path: table-indexed ``ALLOC_T`` → context
     resolution → sampling → collector placement → header install →
@@ -135,13 +197,7 @@ def _kernel_alloc(seed: int, ops: int) -> KernelRun:
     )
     thread = vm.spawn_thread("bench")
 
-    # body(ctx, start, count): for i in range(count): j = start + i;
-    # ctx.alloc(j % 7, sizes[j % 997], lives[j % 991])
-    builder = ProgramBuilder("allocLoop", nregs=2)
-    builder.repeat(1, 0)
-    builder.alloc_table(7, sizes, lives, 0)
-    builder.end_repeat()
-    method = Method("allocLoop", "bench.perf.Alloc", builder.build(), bytecode_size=120)
+    method = _alloc_loop_method(sizes, lives)
 
     def run() -> Tuple[int, Dict[str, object]]:
         done = 0
@@ -177,27 +233,7 @@ def _kernel_call(seed: int, ops: int) -> KernelRun:
     )
     thread = vm.spawn_thread("bench")
 
-    # bytecode_size > inline_max_size keeps every site out of inlining,
-    # so each carries a real stack-state increment once jitted
-    leaf_a = Method(
-        "leafA", "bench.perf.Call", ProgramBuilder("leafA").build(), bytecode_size=100
-    )
-    leaf_b = Method(
-        "leafB", "bench.perf.Call", ProgramBuilder("leafB").build(), bytecode_size=100
-    )
-    mid = Method(
-        "mid",
-        "bench.perf.Call",
-        ProgramBuilder("mid").call(1, leaf_a).call(2, leaf_b).build(),
-        bytecode_size=100,
-    )
-    # root(ctx, count): for _ in range(count): ctx.call(1, mid); ctx.call(2, mid)
-    root_builder = ProgramBuilder("root", nregs=2)
-    root_builder.repeat(0, 1)
-    root_builder.call(1, mid)
-    root_builder.call(2, mid)
-    root_builder.end_repeat()
-    root = Method("root", "bench.perf.Call", root_builder.build(), bytecode_size=100)
+    root, mid, leaf_a, leaf_b = _call_tree_methods()
     # each root-body iteration performs 6 dynamic calls (2 mid + 4 leaf)
     iterations = max(1, ops // 6)
 
@@ -342,12 +378,7 @@ def _kernel_gc_copy(seed: int, ops: int) -> KernelRun:
     thread = vm.spawn_thread("bench")
     sizes = [rng.choice((96, 128, 160, 192, 256)) for _ in range(997)]
 
-    # fill(ctx, start, count): immortal allocs — survive every GC
-    builder = ProgramBuilder("fill", nregs=2)
-    builder.repeat(1, 0)
-    builder.alloc_table(5, sizes, None, 0)
-    builder.end_repeat()
-    method = Method("fill", "bench.perf.Copy", builder.build(), bytecode_size=120)
+    method = _copy_fill_method(sizes)
     live_objects = 16_000
     done = 0
     while done < live_objects:

@@ -95,3 +95,27 @@ def set_fast_paths(enabled: bool) -> bool:
     previous = ENABLED
     set_backend("fast" if enabled else "reference")
     return previous
+
+
+#: opt-in pre-execution static verification gate (``ROLP_STATIC_CHECK=1``):
+#: VMs snapshot this at construction and verify each root method's
+#: program call tree before its first execution.  The gate is read-only
+#: (see repro.analysis.staticcheck), so enabled runs are byte-identical
+#: to unchecked runs; disabled, the only cost is one attribute test per
+#: root invocation (null-hook pattern).
+STATIC_CHECK: bool = os.environ.get("ROLP_STATIC_CHECK", "") == "1"
+
+
+def static_check_enabled() -> bool:
+    """Whether the pre-execution static verification gate is on."""
+    return STATIC_CHECK
+
+
+def set_static_check(enabled: bool) -> bool:
+    """Toggle the static-check gate; returns the previous value.  Like
+    :func:`set_backend`, only VMs constructed after the flip observe it.
+    """
+    global STATIC_CHECK
+    previous = STATIC_CHECK
+    STATIC_CHECK = bool(enabled)
+    return previous

@@ -18,7 +18,7 @@ from repro.heap.header import AGE_MASK, AGE_SHIFT, CONTEXT_SHIFT, MASK_32
 from repro.heap.heap import RegionHeap, SimOutOfMemoryError
 from repro.heap.object_model import IMMORTAL, SimObject
 from repro.heap.region import Space
-from repro.heap.soa import HAVE_NUMPY, ObjectColumns
+from repro.heap.soa import HAVE_NUMPY, ObjectColumns  # rolp-lint: allow[backend-hygiene]
 from repro.runtime.clock import SimClock
 from repro.runtime.hooks import NullProfiler
 from repro.telemetry import NULL_TELEMETRY, PAUSE_HISTOGRAM_BUCKETS_MS

@@ -142,8 +142,12 @@ def _program_of(vm, method: Method) -> Optional[MethodProgram]:
         if program is _MISSING:
             from repro.runtime.program import lower_callable
 
-            program = lower_callable(body)
+            program = lower_callable(body, diagnostics=vm.lowering_diagnostics)
             cache[method] = program
+            if program is None and vm._telemetry_on:
+                events = vm.lowering_diagnostics.events
+                reason = events[-1]["reason"] if events else "unknown"
+                vm._m_lowering_failures.inc(1, reason=reason)
         if program is None:
             return None
     owner = program.owner

@@ -29,7 +29,7 @@ from __future__ import annotations
 import ast
 import inspect
 import textwrap
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 # -- opcodes ----------------------------------------------------------------
 #
@@ -250,7 +250,61 @@ _LOWERABLE = {
 }
 
 
-def lower_callable(fn, name: Optional[str] = None) -> Optional[MethodProgram]:
+class LoweringDiagnostics:
+    """Side-channel for :func:`lower_callable` failure reasons.
+
+    Lowering failure is not an error — the body just stays a Python
+    callable — but static analysis (``repro.analysis.staticcheck``)
+    needs to report *why* a body is opaque, and the VM counts failures
+    through telemetry instead of dropping them on the floor.  Each event
+    records the function, a stable reason slug and the source line of
+    the offending AST node (absolute, when the source is available).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[dict] = []
+
+    def note(self, fn, reason: str, node=None) -> None:
+        line = None
+        node_line = getattr(node, "lineno", None)
+        if node_line is not None:
+            base = getattr(getattr(fn, "__code__", None), "co_firstlineno", 1)
+            line = base + node_line - 1
+        self.events.append(
+            {
+                "function": getattr(
+                    fn, "__qualname__", getattr(fn, "__name__", repr(fn))
+                ),
+                "reason": reason,
+                "line": line,
+            }
+        )
+
+    def reasons(self) -> Dict[str, int]:
+        """Histogram of failure reasons."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event["reason"]] = out.get(event["reason"], 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _opaque(diagnostics, fn, reason, node=None):
+    """Record one lowering failure and return the opaque marker."""
+    if diagnostics is not None:
+        diagnostics.note(fn, reason, node)
+    return None
+
+
+def lower_callable(
+    fn,
+    name: Optional[str] = None,
+    diagnostics: Optional[LoweringDiagnostics] = None,
+) -> Optional[MethodProgram]:
     """Lower a straight-line method body to a :class:`MethodProgram`.
 
     Accepted shape: ``def body(ctx):`` whose statements are each a bare
@@ -270,9 +324,9 @@ def lower_callable(fn, name: Optional[str] = None) -> Optional[MethodProgram]:
         source = textwrap.dedent(inspect.getsource(fn))
         tree = ast.parse(source)
     except (OSError, TypeError, SyntaxError, IndentationError):
-        return None
+        return _opaque(diagnostics, fn, "source-unavailable")
     if not tree.body or not isinstance(tree.body[0], ast.FunctionDef):
-        return None
+        return _opaque(diagnostics, fn, "not-a-function-def")
     func = tree.body[0]
     args = func.args
     if (
@@ -283,7 +337,7 @@ def lower_callable(fn, name: Optional[str] = None) -> Optional[MethodProgram]:
         or args.defaults
         or len(args.args) != 1
     ):
-        return None
+        return _opaque(diagnostics, fn, "unsupported-signature", func)
     ctx_name = args.args[0].arg
 
     builder = ProgramBuilder(name=name or getattr(fn, "__name__", "<lowered>"))
@@ -301,7 +355,7 @@ def lower_callable(fn, name: Optional[str] = None) -> Optional[MethodProgram]:
         if value is not None and not (
             isinstance(value, ast.Constant) and value.value is None
         ):
-            return None
+            return _opaque(diagnostics, fn, "non-trivial-return", statements[-1])
         statements = statements[:-1]
     if not statements:
         return builder.build()
@@ -310,7 +364,7 @@ def lower_callable(fn, name: Optional[str] = None) -> Optional[MethodProgram]:
         if not isinstance(statement, ast.Expr) or not isinstance(
             statement.value, ast.Call
         ):
-            return None
+            return _opaque(diagnostics, fn, "not-a-bare-call-statement", statement)
         call = statement.value
         target = call.func
         if (
@@ -319,16 +373,16 @@ def lower_callable(fn, name: Optional[str] = None) -> Optional[MethodProgram]:
             or target.value.id != ctx_name
             or call.keywords
         ):
-            return None
+            return _opaque(diagnostics, fn, "not-a-ctx-method-call", statement)
         op = _LOWERABLE.get(target.attr)
         if op is None:
-            return None
+            return _opaque(diagnostics, fn, "unsupported-ctx-method", statement)
         values = _resolve_args(call.args, fn)
         if values is None:
-            return None
+            return _opaque(diagnostics, fn, "unresolvable-arguments", statement)
         if op == OP_CALL:
             if len(values) != 2 or not isinstance(values[0], int):
-                return None
+                return _opaque(diagnostics, fn, "bad-arity", statement)
             builder.call(values[0], values[1])
         elif op == OP_ALLOC:
             if len(values) == 2:
@@ -336,10 +390,10 @@ def lower_callable(fn, name: Optional[str] = None) -> Optional[MethodProgram]:
             elif len(values) == 3:
                 builder.alloc(values[0], values[1], values[2])
             else:
-                return None
+                return _opaque(diagnostics, fn, "bad-arity", statement)
         elif op == OP_WORK:
             if len(values) != 1:
-                return None
+                return _opaque(diagnostics, fn, "bad-arity", statement)
             builder.work(values[0])
         elif op == OP_LOOP:
             if len(values) == 1:
@@ -347,7 +401,7 @@ def lower_callable(fn, name: Optional[str] = None) -> Optional[MethodProgram]:
             elif len(values) == 2:
                 builder.loop(values[0], values[1])
             else:
-                return None
+                return _opaque(diagnostics, fn, "bad-arity", statement)
         elif op == OP_THROW:
             if len(values) == 0:
                 builder.throw()
@@ -356,7 +410,7 @@ def lower_callable(fn, name: Optional[str] = None) -> Optional[MethodProgram]:
             elif len(values) == 2:
                 builder.throw(values[0], values[1])
             else:
-                return None
+                return _opaque(diagnostics, fn, "bad-arity", statement)
     return builder.build()
 
 

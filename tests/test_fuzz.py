@@ -218,4 +218,5 @@ class TestSearchDeterminism:
             "inference_period_gcs",
             "objectives",
             "schema",
+            "static_predictor",
         ]

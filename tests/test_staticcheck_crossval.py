@@ -1,0 +1,149 @@
+"""Cross-validation: static conflict prediction vs runtime observation.
+
+The context-space analyzer's soundness contract is *zero false
+negatives*: every allocation site the runtime profiler observes in a
+context conflict must be in the statically predicted conflictable set
+(the predictor may over-approximate, never under-approximate).  These
+tests run real simulations — Figure 6's DaCapo grid and the banked
+adversarial fuzz-corpus genome — and check the superset property.
+
+The flip side: the corpus genome that beat the conflict-rate baseline
+by >= 10x must be flagged conflict-heavy from its static structure
+alone, without paying for a single simulated operation.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro import build_vm
+from repro.analysis.staticcheck import (
+    CONFLICT_HEAVY_MIN,
+    analyze_genome,
+    analyze_workload,
+    observed_conflicts,
+    static_conflict_pressure,
+    validate_against_runtime,
+)
+from repro.core.profiler import RolpConfig
+from repro.workloads.adversarial import (
+    HOSTILE_DEFAULT,
+    AdversarialWorkload,
+    DemographyGenome,
+    LifetimeClass,
+)
+from repro.workloads.dacapo import get_spec
+from repro.workloads.dacapo.synthetic import DaCapoWorkload
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def banked_conflict_genome():
+    """The banked max-conflicts objective winner (>= 10x baseline)."""
+    paths = sorted(glob.glob(os.path.join(CORPUS_DIR, "*objective-max-conflicts*.json")))
+    assert paths, "the fuzz corpus must bank a max-conflicts winner"
+    with open(paths[0]) as handle:
+        entry = json.load(handle)
+    return DemographyGenome.from_dict(entry["genome"]), entry
+
+
+def run_built_workload(workload, ops, inference_period_gcs=8):
+    """Build + run ``workload`` under the ROLP configuration, returning
+    ``(analysis_before_run, profiler)`` — the analysis is taken before
+    the first op executes (ahead-of-time by construction)."""
+    vm, profiler = build_vm(
+        "rolp",
+        heap_mb=workload.heap_mb,
+        young_regions=workload.young_regions,
+        rolp_config=RolpConfig(
+            package_filter=workload.package_filter(),
+            inference_period_gcs=inference_period_gcs,
+        ),
+    )
+    workload.build(vm)
+    analysis = analyze_workload(workload)
+    for op_index in range(ops):
+        workload.run_op(op_index)
+    return analysis, profiler
+
+
+class TestDaCapoGridSuperset:
+    # 4000 ops gives the profiler at least one full inference pass
+    # (inference runs every 8 GCs; 1600 ops is only ~5 GC cycles)
+    @pytest.mark.parametrize("spec_name", ["avrora", "pmd", "tomcat"])
+    def test_no_false_negatives_on_fig6_workloads(self, spec_name):
+        workload = DaCapoWorkload(get_spec(spec_name), seed=11)
+        analysis, profiler = run_built_workload(workload, ops=4000)
+        outcome = validate_against_runtime(analysis, profiler)
+        assert outcome["false_negatives"] == []
+
+    def test_conflicted_spec_actually_observes_conflicts(self):
+        # guard against a vacuous superset: pmd ships 6 planted
+        # conflict factories, and the runtime must see some of them
+        workload = DaCapoWorkload(get_spec("pmd"), seed=11)
+        analysis, profiler = run_built_workload(workload, ops=4000)
+        observed = observed_conflicts(profiler, analysis.methods)
+        assert observed, "pmd's conflict factories never conflicted at runtime"
+        outcome = validate_against_runtime(analysis, profiler)
+        assert len(outcome["observed"]) == len(observed) > 0
+        assert outcome["false_negatives"] == []
+
+
+class TestAdversarialGenomeSuperset:
+    def test_no_false_negatives_on_banked_genome(self):
+        genome, _entry = banked_conflict_genome()
+        workload = AdversarialWorkload(genome=genome, seed=7)
+        analysis, profiler = run_built_workload(workload, ops=2500)
+        observed = observed_conflicts(profiler, analysis.methods)
+        assert observed, "the banked conflict genome must conflict at runtime"
+        outcome = validate_against_runtime(analysis, profiler)
+        assert outcome["false_negatives"] == []
+
+
+class TestStaticPredictor:
+    def test_banked_genome_flagged_heavy_without_running(self):
+        genome, entry = banked_conflict_genome()
+        assert entry["check"] == "max-conflicts"
+        summary = analyze_genome(genome)
+        assert summary["conflict_heavy"] is True
+        assert summary["conflict_pressure"] >= CONFLICT_HEAVY_MIN
+        # analyze_genome only *builds* the method graph — nothing ran
+        assert summary["methods"] > 0
+
+    def test_hostile_default_flagged_heavy(self):
+        summary = analyze_genome(HOSTILE_DEFAULT)
+        assert summary["conflict_heavy"] is True
+        assert summary["structural_sites"] == HOSTILE_DEFAULT.collision_sites
+
+    def test_benign_genome_is_not_heavy_and_skippable(self):
+        benign = DemographyGenome(
+            classes=(
+                LifetimeClass(
+                    size_bytes=64,
+                    kind="young",
+                    lives_ns=20_000,
+                    lifetime_bytes=128 << 10,
+                    weight=1,
+                ),
+            ),
+            collision_sites=0,
+            collision_fanout=2,
+            oscillation_period_ops=0,
+            burst_every_ops=0,
+            burst_size=0,
+            threads=1,
+            heap_mb=16,
+            young_regions=2,
+        )
+        assert static_conflict_pressure(benign) == 0
+        summary = analyze_genome(benign)
+        assert summary["conflict_heavy"] is False
+
+    def test_pressure_matches_analyze_genome(self):
+        genome, _entry = banked_conflict_genome()
+        assert (
+            static_conflict_pressure(genome)
+            == analyze_genome(genome)["conflict_pressure"]
+        )
