@@ -341,8 +341,51 @@ def main(argv: Optional[List[str]] = None) -> int:
             "perf",
             "fuzz",
             "staticcheck",
+            "serve",
             "all",
         ],
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve only: bind address (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8413,
+        metavar="N",
+        help="serve only: TCP port, 0 picks an ephemeral one (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="serve only: admission-queue capacity; a full queue answers "
+        "429 + Retry-After (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        metavar="N",
+        help="serve only: jobs coalesced per runner batch (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="serve only: per-request deadline in seconds; expiry answers "
+        "504 without cancelling the admitted job (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=600.0,
+        metavar="S",
+        help="serve only: sessions idle past this are reaped (default: %(default)s)",
     )
     parser.add_argument(
         "--workloads",
@@ -501,6 +544,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+
+    if args.experiment == "serve":
+        # simulation-as-a-service: sessions over HTTP/JSON, jobs
+        # coalesced into runner cells, results byte-identical to this
+        # CLI (docs/server.md)
+        from repro.server import ServerApp, serve_main
+
+        serve_runner = Runner(
+            jobs=args.jobs,
+            cache=None if args.no_cache else ResultCache(args.cache_dir),
+            base_seed=args.seed,
+        )
+        app = ServerApp(
+            runner=serve_runner,
+            queue_limit=args.queue_limit,
+            max_batch=args.max_batch,
+            request_timeout_s=args.request_timeout or None,
+            idle_timeout_s=args.idle_timeout,
+        )
+        return serve_main(
+            args.host,
+            args.port,
+            app,
+            reap_interval_s=max(1.0, args.idle_timeout / 4),
+        )
 
     todo = (
         ["table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations"]

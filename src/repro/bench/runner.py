@@ -74,6 +74,7 @@ class Cell:
     @property
     def label(self) -> str:
         """Short progress label (track name if the kind defines one)."""
+        _ensure_kinds()
         fmt = _TRACK_NAMES.get(self.kind)
         return fmt(dict(self.params)) if fmt else self.key
 
@@ -87,7 +88,15 @@ class Cell:
         comparison replay the identical workload and differ only in the
         treatment — the paper's methodology, and what the ablation
         studies' "decisions unchanged" claims rest on.
+
+        Registration must be forced first: a seed scope only exists
+        once the module registering the kind is imported, and deriving
+        a seed *before* that import would silently fall back to the
+        full key — an import-order dependence the fleet server (which
+        does not import the CLI's experiment modules up front) turned
+        from latent into real.
         """
+        _ensure_kinds()
         scope = _SEED_SCOPES.get(self.kind)
         return scope(dict(self.params)) if scope else self.key
 
@@ -182,6 +191,21 @@ def _ensure_kinds() -> None:
     """Import every module that registers cell kinds (needed when a
     worker starts from a fresh interpreter, i.e. spawn start method)."""
     from repro.bench import ablations, cli, figures, fuzz, perf, tables  # noqa: F401
+    from repro.server import jobs  # noqa: F401  (registers session_step)
+
+
+def registered_cell_kinds() -> List[str]:
+    """Every registered cell kind name, sorted — the fleet server's
+    admissible job vocabulary."""
+    _ensure_kinds()
+    return sorted(_CELL_KINDS)
+
+
+def cell_implementation(kind: str) -> Callable[..., object]:
+    """The implementation function behind a registered kind (the server
+    binds job params against its signature at admission time)."""
+    _ensure_kinds()
+    return _CELL_KINDS[kind]
 
 
 def _execute(cell: Cell, seed: int, telemetry=None):
@@ -408,6 +432,20 @@ class Runner:
 
         self.stats.elapsed_s += time.time() - started
         return [self._memo[cell] for cell in cells]
+
+    async def run_async(self, cells: Sequence[Cell], executor=None) -> List[object]:
+        """Event-loop-friendly :meth:`run`: executes the cells on
+        ``executor`` (or the loop's default) so simulations never block
+        the loop that is multiplexing sessions.
+
+        The runner itself is not thread-safe; callers that share one
+        runner across tasks (the fleet server's batcher) must serialize
+        calls — a single-worker executor does exactly that.
+        """
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(executor, self.run, list(cells))
 
     def _run_inline(self, cells: Sequence[Cell], total: int) -> None:
         for index, cell in enumerate(cells, 1):

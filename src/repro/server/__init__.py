@@ -1,0 +1,55 @@
+"""Simulation-as-a-service fleet server.
+
+One long-running process (``rolp-bench serve``) turns the experiment
+grid into an addressable resource: clients create *sessions* over
+HTTP/JSON, submit simulation/profiling jobs against them, and stream
+telemetry back.  The pieces:
+
+* :mod:`repro.server.protocol` — the versioned wire contract
+  (``rolp-bench/server/v1``): JSON schemas for every request and
+  response (including the error envelope), plus the in-tree validator
+  the conformance suite asserts against;
+* :mod:`repro.server.sessions` — the session registry:
+  create/run/step/query/close lifecycle, idle-timeout reaping,
+  monotonic counters and per-session trace ids
+  (:func:`repro.bench.runner.derive_trace_id`) with optional
+  per-session flight recorders;
+* :mod:`repro.server.jobs` — job → :class:`~repro.bench.runner.Cell`
+  materialization and the canonical result payload (the byte-identity
+  contract with CLI runs lives here);
+* :mod:`repro.server.batcher` — the bounded admission queue and the
+  coalescing batch executor (backpressure = 429 + ``Retry-After``);
+* :mod:`repro.server.app` — the transport-free async application
+  (routing, validation, error envelopes, ``/metrics`` + ``/healthz``);
+* :mod:`repro.server.http` — the asyncio-streams HTTP/1.1 front end;
+* :mod:`repro.server.testing` — the in-process async test client, the
+  raw-TCP client, and the deterministic (seeded, wall-clock-free)
+  load generator;
+* :mod:`repro.server.loadgen` — the CLI load/soak driver used by the
+  ``server-smoke`` CI job.
+
+Determinism contract: a job's ``result`` and ``fingerprint`` depend
+only on the cell key and the base seed — never on arrival order,
+batching, concurrency, caching or transport — so server results are
+byte-identical to the same cells run serially through
+:class:`repro.bench.runner.Runner` (the PR 4/7 equivalence contract,
+extended to the fleet).
+"""
+
+from repro.server.app import ServerApp
+from repro.server.batcher import AdmissionQueueFull, JobBatcher
+from repro.server.http import HttpFrontend, serve_main
+from repro.server.protocol import SCHEMA, SchemaError, validate
+from repro.server.sessions import SessionManager
+
+__all__ = [
+    "AdmissionQueueFull",
+    "HttpFrontend",
+    "JobBatcher",
+    "SCHEMA",
+    "SchemaError",
+    "ServerApp",
+    "SessionManager",
+    "serve_main",
+    "validate",
+]

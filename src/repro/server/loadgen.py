@@ -1,0 +1,182 @@
+"""CLI load/soak driver for a running fleet server.
+
+Used by the ``server-smoke`` CI job and for manual soaks::
+
+    rolp-bench serve --port 8413 --jobs 2 &
+    PYTHONPATH=src python -m repro.server.loadgen \\
+        --url http://127.0.0.1:8413 --clients 24 --jobs-per-client 2 \\
+        --seed 7 --expect-serial --report-out loadgen_report.json
+
+The plan is seeded (see :class:`repro.server.testing.LoadPlan`), so the
+same invocation always submits the same session grid.  With
+``--expect-serial`` the driver re-runs every planned cell serially
+through a local :class:`~repro.bench.runner.Runner` and diffs the
+server's canonical job payloads byte-for-byte — exit status 1 on any
+divergence, which is the fleet-level analogue of the PR 4/7
+equivalence gates.  Latency percentiles and 429 counts are *reported*
+(and may be asserted by the caller with ``--max-p99-ms``); correctness
+assertions never depend on timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import List, Optional
+
+from repro.bench.runner import DEFAULT_BASE_SEED
+from repro.server.testing import (
+    HttpClient,
+    LoadPlan,
+    expected_payload_bytes,
+    run_load,
+)
+
+
+def build_plan(args: argparse.Namespace) -> LoadPlan:
+    return LoadPlan.generate(
+        seed=args.seed,
+        clients=args.clients,
+        jobs_per_client=args.jobs_per_client,
+        workloads=args.workloads,
+        collectors=args.collectors,
+        operations=args.operations,
+        step_fraction=args.step_fraction,
+    )
+
+
+async def _wait_healthy(url: str, attempts: int = 50) -> None:
+    client = HttpClient(url)
+    for attempt in range(attempts):
+        try:
+            response = await client.get("/healthz")
+            if response.status == 200:
+                return
+        except (ConnectionError, OSError):
+            pass
+        await asyncio.sleep(0.2)
+    raise SystemExit("loadgen: server at %s never became healthy" % url)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rolp-server-loadgen",
+        description="Deterministic load generator for rolp-bench serve.",
+    )
+    parser.add_argument("--url", required=True, help="server base url")
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--jobs-per-client", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=DEFAULT_BASE_SEED)
+    parser.add_argument(
+        "--base-seed",
+        type=int,
+        default=DEFAULT_BASE_SEED,
+        help="the server's --seed (for the serial expectation)",
+    )
+    parser.add_argument("--operations", type=int, default=2_000)
+    parser.add_argument("--step-fraction", type=float, default=0.5)
+    parser.add_argument(
+        "--workloads", nargs="*", default=["lucene", "graphchi-cc"]
+    )
+    parser.add_argument("--collectors", nargs="*", default=["g1", "rolp"])
+    parser.add_argument(
+        "--expect-serial",
+        action="store_true",
+        help="diff every payload against a local serial Runner (byte-identity gate)",
+    )
+    parser.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=None,
+        help="fail if observed p99 request latency exceeds this bound",
+    )
+    parser.add_argument("--report-out", metavar="PATH", default=None)
+    args = parser.parse_args(argv)
+
+    plan = build_plan(args)
+
+    async def _run():
+        await _wait_healthy(args.url)
+        return await run_load(lambda planned: HttpClient(args.url), plan)
+
+    report = asyncio.run(_run())
+
+    document = report.as_dict()
+    document["plan"] = {
+        "seed": plan.seed,
+        "clients": args.clients,
+        "jobs_per_client": args.jobs_per_client,
+    }
+
+    status = 0
+    if report.errors:
+        print("loadgen: %d client errors" % len(report.errors), file=sys.stderr)
+        for error in report.errors[:10]:
+            print("  " + error, file=sys.stderr)
+        status = 1
+    total_planned = sum(len(c.jobs) for c in plan.clients)
+    if report.jobs_completed != total_planned:
+        print(
+            "loadgen: %d/%d planned jobs completed"
+            % (report.jobs_completed, total_planned),
+            file=sys.stderr,
+        )
+        status = 1
+
+    if args.expect_serial and status == 0:
+        expected = expected_payload_bytes(plan, args.base_seed)
+        mismatches = [
+            index
+            for index, (got, want) in enumerate(zip(report.payloads, expected))
+            if got != want
+        ]
+        document["serial_equivalence"] = {
+            "checked": len(expected),
+            "mismatches": len(mismatches),
+        }
+        if mismatches:
+            print(
+                "loadgen: %d/%d payloads diverge from the serial Runner "
+                "(first at plan index %d)"
+                % (len(mismatches), len(expected), mismatches[0]),
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(
+                "loadgen: %d payloads byte-identical to serial Runner"
+                % len(expected),
+                file=sys.stderr,
+            )
+
+    if args.max_p99_ms is not None and report.p99_ms() > args.max_p99_ms:
+        print(
+            "loadgen: p99 %.1fms exceeds bound %.1fms"
+            % (report.p99_ms(), args.max_p99_ms),
+            file=sys.stderr,
+        )
+        status = 1
+
+    if args.report_out:
+        with open(args.report_out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("loadgen: report written to %s" % args.report_out, file=sys.stderr)
+
+    print(
+        "loadgen: clients=%d jobs=%d 429s=%d retries=%d p99=%.1fms"
+        % (
+            report.clients,
+            report.jobs_completed,
+            report.rejected_429,
+            report.retries,
+            report.p99_ms(),
+        )
+    )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,271 @@
+"""The fleet server's session registry.
+
+A *session* is an addressable profiling context: it binds a workload,
+a collector and an operation budget, carries a fleet trace id derived
+with the same :func:`~repro.bench.runner.derive_trace_id` scheme every
+bench artifact uses, counts the jobs and steps run against it, and is
+reaped after a configurable idle timeout so abandoned clients cannot
+leak registry entries (NG2C's motivation applies: pretenuring state is
+per-application, so thousands of independently-profiled sessions must
+stay isolated inside one process).
+
+Design constraints the tests pin down:
+
+* **Deterministic identity** — session ids come from a monotonic
+  sequence (``s-000001``, ...), never from wall clock or randomness;
+  the sequence never reuses a number, even across close/reap.
+* **Injectable time** — all idle accounting goes through a ``clock``
+  callable (default :func:`time.monotonic`); the lifecycle tests drive
+  a fake clock and call :meth:`SessionManager.reap` explicitly, so no
+  assertion depends on real time passing.
+* **Idempotent teardown** — closing an unknown or already-closed
+  session returns ``False`` rather than raising; the registry is
+  empty after every session is closed or reaped (no leaks).
+* **Monotonic counters** — ``created``/``closed``/``reaped``/``jobs``/
+  ``steps`` only ever increase, and ``created == active + closed +
+  reaped`` holds at every point.
+
+Sessions optionally carry a PR 6 :class:`~repro.telemetry.FlightRecorder`
+(a *per-session sink*, scoped off the server's shared telemetry
+session): lifecycle events — create, job, step, close — are recorded
+into the session's own bounded ring and can be dumped over
+``GET /v1/sessions/<id>/recording`` without touching any other
+session's recording.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.runner import DEFAULT_BASE_SEED, derive_seed, derive_trace_id
+from repro.telemetry import (
+    FlightRecorder,
+    RetentionPolicy,
+    Telemetry,
+    TelemetrySession,
+)
+
+#: sessions idle longer than this are reaped (seconds; per-session
+#: override via ``idle_timeout_s`` at create time)
+DEFAULT_IDLE_TIMEOUT_S = 600.0
+
+#: per-session recorders must retain the rare ``server`` lifecycle
+#: events un-sampled (the default policy would decimate them 1-in-8
+#: on the hot channel, dropping most of a short session's history)
+SESSION_RETENTION = RetentionPolicy(
+    keep_categories=frozenset(RetentionPolicy().keep_categories | {"server"})
+)
+
+#: default operation count for a session's whole-run jobs / steps
+DEFAULT_OPERATIONS = 2_000
+
+
+@dataclass
+class SessionStats:
+    """Monotonic lifecycle counters for one manager lifetime."""
+
+    created: int = 0
+    closed: int = 0
+    reaped: int = 0
+    jobs: int = 0
+    steps: int = 0
+
+    def as_dict(self, active: int) -> Dict[str, int]:
+        return {
+            "active": active,
+            "created": self.created,
+            "closed": self.closed,
+            "reaped": self.reaped,
+            "jobs": self.jobs,
+            "steps": self.steps,
+        }
+
+
+@dataclass
+class Session:
+    """One registered session (see module docstring for the contract)."""
+
+    id: str
+    seq: int
+    workload: str
+    collector: str
+    operations: int
+    ops_per_step: int
+    idle_timeout_s: float
+    created_at: float
+    last_used: float
+    trace_id: str
+    steps: int = 0
+    jobs: int = 0
+    recorder: Optional[FlightRecorder] = None
+    telemetry: Optional[Telemetry] = None
+    _scope: Optional[TelemetrySession] = field(default=None, repr=False)
+
+    def payload(self, now: float) -> Dict[str, object]:
+        """The wire representation (protocol ``session`` object)."""
+        return {
+            "id": self.id,
+            "seq": self.seq,
+            "state": "active",
+            "workload": self.workload,
+            "collector": self.collector,
+            "operations": self.operations,
+            "ops_per_step": self.ops_per_step,
+            "steps": self.steps,
+            "jobs": self.jobs,
+            "trace_id": self.trace_id,
+            "created_s": round(self.created_at, 6),
+            "idle_s": round(max(0.0, now - self.last_used), 6),
+            "recorder": self.recorder.counters() if self.recorder else None,
+        }
+
+    def record(self, event: str, now: float, **args) -> None:
+        if self.telemetry is not None:
+            self.telemetry.tracer.instant(
+                "session/" + event,
+                ts_ns=int(now * 1e9),
+                category="server",
+                **args,
+            )
+
+
+class SessionManager:
+    """Create/run/step/query/close lifecycle over a dict registry."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
+        base_seed: int = DEFAULT_BASE_SEED,
+        telemetry_session: Optional[TelemetrySession] = None,
+    ) -> None:
+        self.clock = clock
+        self.idle_timeout_s = idle_timeout_s
+        self.base_seed = base_seed
+        self.telemetry_session = telemetry_session
+        self.stats = SessionStats()
+        self._sessions: Dict[str, Session] = {}
+        self._seq = 0
+
+    # ---------------------------------------------------------------- queries
+
+    @property
+    def active_count(self) -> int:
+        return len(self._sessions)
+
+    def ids(self) -> List[str]:
+        return sorted(self._sessions)
+
+    def get(self, session_id: str) -> Optional[Session]:
+        return self._sessions.get(session_id)
+
+    def snapshot(self) -> Dict[str, int]:
+        return self.stats.as_dict(self.active_count)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def create(
+        self,
+        workload: str,
+        collector: str,
+        operations: int = DEFAULT_OPERATIONS,
+        ops_per_step: Optional[int] = None,
+        idle_timeout_s: Optional[float] = None,
+        flight_recorder: Optional[int] = None,
+    ) -> Session:
+        self._seq += 1
+        now = self.clock()
+        session_key = "server-session(seq=%d, workload=%r, collector=%r)" % (
+            self._seq,
+            workload,
+            collector,
+        )
+        seed = derive_seed(session_key, self.base_seed)
+        recorder = (
+            FlightRecorder(flight_recorder, policy=SESSION_RETENTION)
+            if flight_recorder
+            else None
+        )
+        session = Session(
+            id="s-%06d" % self._seq,
+            seq=self._seq,
+            workload=workload,
+            collector=collector,
+            operations=operations,
+            ops_per_step=ops_per_step if ops_per_step else operations,
+            idle_timeout_s=(
+                idle_timeout_s if idle_timeout_s is not None else self.idle_timeout_s
+            ),
+            created_at=now,
+            last_used=now,
+            trace_id=derive_trace_id(session_key, seed),
+            recorder=recorder,
+        )
+        if recorder is not None:
+            # per-session sink: own bounded ring, shared metrics registry
+            scope = (
+                self.telemetry_session.scoped(flight_recorder=recorder)
+                if self.telemetry_session is not None
+                else TelemetrySession(flight_recorder=recorder, record_trace=False)
+            )
+            session._scope = scope
+            session.telemetry = scope.for_run(
+                "session/%s" % session.id, trace_id=session.trace_id
+            )
+        self._sessions[session.id] = session
+        self.stats.created += 1
+        session.record(
+            "create", now, workload=workload, collector=collector, seq=session.seq
+        )
+        return session
+
+    def touch(self, session_id: str) -> Optional[Session]:
+        session = self._sessions.get(session_id)
+        if session is not None:
+            session.last_used = self.clock()
+        return session
+
+    def note_job(self, session: Session, cell_key: str, trace_id: str) -> None:
+        session.jobs += 1
+        session.last_used = self.clock()
+        self.stats.jobs += 1
+        session.record(
+            "job", session.last_used, cell_key=cell_key, job_trace_id=trace_id
+        )
+
+    def next_step(self, session: Session) -> int:
+        """Claim the next step index (0-based) for a session."""
+        step = session.steps
+        session.steps += 1
+        session.last_used = self.clock()
+        self.stats.steps += 1
+        session.record("step", session.last_used, step=step)
+        return step
+
+    def close(self, session_id: str) -> Optional[Session]:
+        """Remove a session; ``None`` (never an error) when absent, so
+        double-close and close-after-reap are harmless races."""
+        session = self._sessions.pop(session_id, None)
+        if session is None:
+            return None
+        self.stats.closed += 1
+        session.record("close", self.clock(), steps=session.steps, jobs=session.jobs)
+        return session
+
+    def reap(self, now: Optional[float] = None) -> List[str]:
+        """Remove every session idle past its timeout; returns the
+        reaped ids (sorted, for deterministic logs)."""
+        if now is None:
+            now = self.clock()
+        expired = sorted(
+            sid
+            for sid, session in self._sessions.items()
+            if now - session.last_used > session.idle_timeout_s
+        )
+        for sid in expired:
+            session = self._sessions.pop(sid)
+            self.stats.reaped += 1
+            session.record("reap", now, idle_s=now - session.last_used)
+        return expired

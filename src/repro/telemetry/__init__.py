@@ -105,6 +105,29 @@ class TelemetrySession:
             tracer = TeeTracer(tracers)
         return Telemetry(tracer, self.metrics)
 
+    def scoped(
+        self,
+        flight_recorder: Optional[FlightRecorder] = None,
+        max_trace_events: Optional[int] = None,
+        record_trace: bool = False,
+    ) -> "TelemetrySession":
+        """A child session with its *own* sink and flight recorder but
+        the parent's metrics registry.
+
+        This is the fleet server's per-session telemetry scope: each
+        server session records lifecycle events (and optional flight
+        recordings) into its own bounded ring — dumpable and droppable
+        independently — while every counter still lands in the one
+        registry ``/metrics`` exports.
+        """
+        child = TelemetrySession(
+            flight_recorder=flight_recorder,
+            max_trace_events=max_trace_events,
+            record_trace=record_trace,
+        )
+        child.metrics = self.metrics
+        return child
+
     def telemetry_counters(self) -> dict:
         """Bookkeeping surfaced under ``--metrics-out``: sink size/drops
         and (when enabled) the flight recorder's bound-proving counters."""

@@ -1,0 +1,231 @@
+"""Stateful session-lifecycle properties for the fleet server.
+
+A Hypothesis :class:`RuleBasedStateMachine` drives the
+:class:`~repro.server.sessions.SessionManager` through arbitrary
+interleavings of create / touch / job / step / close / double-close /
+clock-advance / reap against a shadow model, checking after every rule:
+
+* the registry exactly matches the model (no leaked, no lost sessions);
+* every counter is monotonic and ``created == active + closed + reaped``;
+* session sequence numbers strictly increase and are never reused;
+* closing an unknown or already-closed session is a no-op, never an
+  error;
+* reaping removes exactly the sessions idle past their timeout — time
+  comes from an injected fake clock, so nothing here waits on (or can
+  be flaked by) real time.
+
+A seeded random-walk soak then drives one manager through well over the
+required 200 lifecycle steps and asserts the registry drains to zero.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.server.sessions import SessionManager
+
+WORKLOADS = ("lucene", "graphchi-cc", "feature-gen")
+COLLECTORS = ("g1", "rolp")
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1_000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class SessionLifecycle(RuleBasedStateMachine):
+    """Registry vs. shadow model under arbitrary rule interleavings."""
+
+    @initialize(idle_timeout=st.floats(min_value=1.0, max_value=60.0))
+    def setup(self, idle_timeout):
+        self.clock = FakeClock()
+        self.manager = SessionManager(
+            clock=self.clock, idle_timeout_s=idle_timeout
+        )
+        self.model = {}  # sid -> {"last_used": float, "timeout": float}
+        self.closed_ids = set()
+        self.last_seq = 0
+        self.last_stats = self.manager.snapshot()
+
+    # ------------------------------------------------------------------ rules
+
+    @rule(
+        workload=st.sampled_from(WORKLOADS),
+        collector=st.sampled_from(COLLECTORS),
+        timeout=st.one_of(st.none(), st.floats(min_value=1.0, max_value=30.0)),
+    )
+    def create(self, workload, collector, timeout):
+        session = self.manager.create(
+            workload, collector, idle_timeout_s=timeout
+        )
+        assert session.seq > self.last_seq, "sequence numbers must increase"
+        assert session.id not in self.model
+        assert session.id not in self.closed_ids, "ids must never be reused"
+        assert len(session.trace_id) == 16
+        self.last_seq = session.seq
+        self.model[session.id] = {
+            "last_used": self.clock.now,
+            "timeout": session.idle_timeout_s,
+        }
+
+    @rule(data=st.data())
+    def touch_live(self, data):
+        if not self.model:
+            return
+        sid = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.manager.touch(sid) is not None
+        self.model[sid]["last_used"] = self.clock.now
+
+    @rule(data=st.data())
+    def job_and_step(self, data):
+        if not self.model:
+            return
+        sid = data.draw(st.sampled_from(sorted(self.model)))
+        session = self.manager.get(sid)
+        before_steps = session.steps
+        assert self.manager.next_step(session) == before_steps
+        self.manager.note_job(session, cell_key="cell(%s)" % sid, trace_id="0" * 16)
+        assert session.steps == before_steps + 1
+        self.model[sid]["last_used"] = self.clock.now
+
+    @rule(data=st.data())
+    def close_live(self, data):
+        if not self.model:
+            return
+        sid = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.manager.close(sid) is not None
+        del self.model[sid]
+        self.closed_ids.add(sid)
+
+    @rule(data=st.data())
+    def close_absent_is_noop(self, data):
+        stale = sorted(self.closed_ids)
+        sid = data.draw(
+            st.one_of(
+                st.just("s-999999"),
+                st.sampled_from(stale) if stale else st.just("s-000000"),
+            )
+        )
+        before = self.manager.snapshot()
+        assert self.manager.close(sid) is None  # idempotent, never raises
+        after = self.manager.snapshot()
+        assert after == before, "double-close must not move any counter"
+
+    @rule(delta=st.floats(min_value=0.0, max_value=120.0))
+    def advance_clock(self, delta):
+        self.clock.now += delta
+
+    @rule()
+    def reap(self):
+        now = self.clock.now
+        expected = sorted(
+            sid
+            for sid, entry in self.model.items()
+            if now - entry["last_used"] > entry["timeout"]
+        )
+        assert self.manager.reap() == expected
+        for sid in expected:
+            del self.model[sid]
+            self.closed_ids.add(sid)
+
+    # ------------------------------------------------------------- invariants
+
+    @invariant()
+    def registry_matches_model(self):
+        if not hasattr(self, "manager"):
+            return
+        assert self.manager.ids() == sorted(self.model)
+        assert self.manager.active_count == len(self.model)
+
+    @invariant()
+    def counters_monotonic_and_balanced(self):
+        if not hasattr(self, "manager"):
+            return
+        stats = self.manager.snapshot()
+        for name in ("created", "closed", "reaped", "jobs", "steps"):
+            assert stats[name] >= self.last_stats[name], name
+        assert (
+            stats["created"]
+            == stats["active"] + stats["closed"] + stats["reaped"]
+        )
+        self.last_stats = stats
+
+
+TestSessionLifecycle = SessionLifecycle.TestCase
+TestSessionLifecycle.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+
+
+class TestRandomWalkSoak:
+    def test_400_step_walk_leaks_nothing(self):
+        """Seeded long walk (well past the 200-step acceptance floor):
+        after closing every survivor, the registry must be empty and the
+        books must balance exactly."""
+        clock = FakeClock()
+        manager = SessionManager(clock=clock, idle_timeout_s=30.0)
+        rng = random.Random(424242)
+        live = []
+        steps = 0
+        for _ in range(400):
+            steps += 1
+            roll = rng.random()
+            if roll < 0.35 or not live:
+                session = manager.create(
+                    rng.choice(WORKLOADS), rng.choice(COLLECTORS)
+                )
+                live.append(session.id)
+            elif roll < 0.55:
+                sid = rng.choice(live)
+                session = manager.get(sid)
+                manager.next_step(session)
+            elif roll < 0.70:
+                sid = live.pop(rng.randrange(len(live)))
+                assert manager.close(sid) is not None
+            elif roll < 0.85:
+                clock.now += rng.uniform(0.0, 20.0)
+            else:
+                reaped = manager.reap()
+                live = [sid for sid in live if sid not in set(reaped)]
+        assert steps >= 200
+        for sid in list(live):
+            assert manager.close(sid) is not None
+        stats = manager.snapshot()
+        assert stats["active"] == 0, "leaked sessions after full drain"
+        assert manager.ids() == []
+        assert stats["created"] == stats["closed"] + stats["reaped"]
+        assert stats["created"] >= 100  # the walk really created load
+
+    def test_idle_reaping_is_exact_on_the_boundary(self):
+        clock = FakeClock()
+        manager = SessionManager(clock=clock, idle_timeout_s=10.0)
+        early = manager.create("lucene", "g1")
+        clock.now += 5.0
+        late = manager.create("lucene", "rolp")
+        clock.now += 5.0  # early is exactly at its timeout: NOT expired
+        assert manager.reap() == []
+        clock.now += 0.5  # now early is past it, late is not
+        assert manager.reap() == [early.id]
+        assert manager.ids() == [late.id]
+        assert manager.snapshot()["reaped"] == 1
+
+    def test_touch_defers_reaping(self):
+        clock = FakeClock()
+        manager = SessionManager(clock=clock, idle_timeout_s=10.0)
+        session = manager.create("lucene", "g1")
+        clock.now += 9.0
+        manager.touch(session.id)
+        clock.now += 9.0
+        assert manager.reap() == []  # touched 9s ago, timeout 10s
+        clock.now += 2.0
+        assert manager.reap() == [session.id]
