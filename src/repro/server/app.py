@@ -31,7 +31,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.bench.runner import DEFAULT_BASE_SEED, Runner, make_cell
+from repro.bench.runner import Runner, make_cell
 from repro.server import jobs as jobs_mod
 from repro.server.batcher import (
     AdmissionQueueFull,
@@ -111,14 +111,15 @@ class ServerApp:
         request_timeout_s: Optional[float] = DEFAULT_REQUEST_TIMEOUT_S,
         idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
         clock=None,
-        base_seed: int = DEFAULT_BASE_SEED,
+        base_seed: Optional[int] = None,
     ) -> None:
         self.telemetry = TelemetrySession(record_trace=False)
         self.runner = runner if runner is not None else Runner(jobs=1, cache=None)
-        self.base_seed = (
-            self.runner.base_seed if runner is not None else base_seed
-        )
-        self.runner.base_seed = self.base_seed
+        # an explicit base_seed always wins, even over a supplied
+        # runner's — every seed and trace id downstream derives from it
+        if base_seed is not None:
+            self.runner.base_seed = base_seed
+        self.base_seed = self.runner.base_seed
         if self.runner.session is None:
             # bench_runner_* counters land in /metrics alongside ours
             self.runner.session = self.telemetry
@@ -399,7 +400,12 @@ class ServerApp:
             step=step,
         )
         future = self.batcher.submit(cell)
-        assert self.manager.next_step(session) == step
+        claimed = self.manager.next_step(session)
+        if claimed != step:
+            raise BatchExecutionError(
+                "step counter raced on session %s: claimed %d, expected %d"
+                % (session.id, claimed, step)
+            )
         seed = self.runner.seed_for(cell)
         result = await self._await_result(future)
         payload = jobs_mod.job_payload(cell, seed, result)

@@ -105,9 +105,9 @@ class JobBatcher:
             self._worker_task = asyncio.get_running_loop().create_task(self._worker())
 
     async def stop(self) -> None:
-        """Stop the worker; jobs still queued fail with
-        :class:`ServerStopping` (they were never executed, and saying so
-        beats hanging their clients)."""
+        """Stop the worker: the batch already in flight finishes, then
+        every job still queued fails with :class:`ServerStopping` (it
+        was never executed, and saying so beats hanging its client)."""
         self._stopped = True
         self._wake.set()
         if self._worker_task is not None:
@@ -183,7 +183,10 @@ class JobBatcher:
             self._wake.clear()
             if self._stopped:
                 return
-            while self._queue and not self._paused:
+            # the _stopped check keeps stop() honest: the in-flight batch
+            # finishes, but still-queued jobs are abandoned to stop()'s
+            # ServerStopping sweep instead of draining arbitrarily long
+            while self._queue and not self._paused and not self._stopped:
                 batch: List[_Job] = [
                     self._queue.popleft()
                     for _ in range(min(self.max_batch, len(self._queue)))

@@ -33,6 +33,9 @@ class _ProtocolError(Exception):
 #: hard cap on request bodies (1 MiB — jobs are small JSON documents)
 MAX_BODY_BYTES = 1 << 20
 
+#: hard cap on header lines per request (memory-exhaustion guard)
+MAX_HEADER_LINES = 100
+
 _STATUS_TEXT = {
     200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
@@ -92,7 +95,14 @@ class HttpFrontend:
             while True:
                 try:
                     request, keep_alive = await self._read_request(reader)
-                except _ProtocolError as exc:
+                except (_ProtocolError, ValueError, asyncio.LimitOverrunError) as exc:
+                    # bare ValueError / LimitOverrunError = a request or
+                    # header line over the StreamReader's 64 KiB limit
+                    if not isinstance(exc, _ProtocolError):
+                        exc = _ProtocolError(
+                            "malformed-body",
+                            "request or header line exceeds the stream limit",
+                        )
                     writer.write(_encode_response(exc.response, False))
                     await writer.drain()
                     break
@@ -122,10 +132,17 @@ class HttpFrontend:
         except ValueError:
             raise _ProtocolError("malformed-body", "unparseable request line")
         headers = {}
+        header_lines = 0
         while True:
             raw = await reader.readline()
             if raw in (b"\r\n", b"\n", b""):
                 break
+            header_lines += 1
+            if header_lines > MAX_HEADER_LINES:
+                raise _ProtocolError(
+                    "malformed-body",
+                    "more than %d header lines" % MAX_HEADER_LINES,
+                )
             if b":" in raw:
                 name, _, value = raw.decode("latin-1").partition(":")
                 headers[name.strip().lower()] = value.strip()
@@ -133,6 +150,8 @@ class HttpFrontend:
             length = int(headers.get("content-length", "0") or "0")
         except ValueError:
             raise _ProtocolError("malformed-body", "unparseable Content-Length")
+        if length < 0:
+            raise _ProtocolError("malformed-body", "negative Content-Length")
         if length > MAX_BODY_BYTES:
             raise _ProtocolError(
                 "malformed-body", "request body exceeds %d bytes" % MAX_BODY_BYTES

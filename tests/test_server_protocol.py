@@ -17,7 +17,8 @@ import pytest
 from repro.bench.runner import Runner, make_cell
 from repro.server import protocol
 from repro.server.app import ServerApp
-from repro.server.http import HttpFrontend
+from repro.server.batcher import JobBatcher, ServerStopping
+from repro.server.http import MAX_HEADER_LINES, HttpFrontend, _ProtocolError
 from repro.server.jobs import result_fingerprint
 from repro.server.testing import HttpClient, TestClient
 
@@ -515,7 +516,136 @@ class TestHttpFrontend:
             assert protocol.check_response(body) == "error"
             assert body["error"]["reason"] == "malformed-body"
 
+            # negative Content-Length: refused before it can reach
+            # readexactly, with the same 400 envelope
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", frontend.bound_port
+            )
+            writer.write(
+                b"POST /v1/sessions HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: -5\r\nConnection: close\r\n\r\n"
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            head, _, payload = raw.partition(b"\r\n\r\n")
+            assert head.startswith(b"HTTP/1.1 400")
+            body = json.loads(payload.decode())
+            assert protocol.check_response(body) == "error"
+            assert body["error"]["reason"] == "malformed-body"
+            assert "negative" in body["error"]["detail"]
+
             await frontend.stop()
+
+        run(scenario())
+
+    def test_codec_rejects_hostile_framing(self):
+        """Negative Content-Length, header floods and over-limit lines
+        are all refused at the codec, before any body allocation."""
+
+        def feed(data, limit=2 ** 16):
+            reader = asyncio.StreamReader(limit=limit)
+            reader.feed_data(data)
+            reader.feed_eof()
+            return reader
+
+        async def scenario():
+            frontend = HttpFrontend(make_app())
+
+            with pytest.raises(_ProtocolError) as err:
+                await frontend._read_request(
+                    feed(b"POST /v1/sessions HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+                )
+            assert err.value.response.status == 400
+            assert "negative Content-Length" in str(err.value)
+
+            flood = (
+                b"GET /healthz HTTP/1.1\r\n"
+                + b"".join(
+                    b"X-%d: x\r\n" % i for i in range(MAX_HEADER_LINES + 5)
+                )
+                + b"\r\n"
+            )
+            with pytest.raises(_ProtocolError) as err:
+                await frontend._read_request(feed(flood))
+            assert err.value.response.status == 400
+            assert "header lines" in str(err.value)
+
+            # a header line over the StreamReader limit surfaces as
+            # ValueError, which _handle_connection maps to the same 400
+            with pytest.raises(ValueError):
+                await frontend._read_request(
+                    feed(
+                        b"GET / HTTP/1.1\r\nX-Big: " + b"x" * 4096 + b"\r\n\r\n",
+                        limit=1024,
+                    )
+                )
+
+        run(scenario())
+
+
+class TestAppConstruction:
+    def test_explicit_base_seed_wins_over_runner(self):
+        """base_seed=N must govern every derived seed and trace id even
+        when the caller also supplies a runner."""
+
+        async def scenario():
+            runner = Runner(jobs=1, cache=None, base_seed=7)
+            app = ServerApp(runner=runner, base_seed=99, clock=FakeClock())
+            assert app.base_seed == 99
+            assert runner.base_seed == 99
+            assert app.manager.base_seed == 99
+
+            inherited = ServerApp(
+                runner=Runner(jobs=1, cache=None, base_seed=7), clock=FakeClock()
+            )
+            assert inherited.base_seed == 7
+            assert inherited.manager.base_seed == 7
+
+        run(scenario())
+
+
+class TestBatcherShutdown:
+    def test_stop_abandons_queued_jobs_even_mid_batch(self):
+        """stop() during an in-flight batch lets that batch finish but
+        fails still-queued jobs with ServerStopping instead of draining
+        the whole backlog first."""
+
+        class GateRunner:
+            def __init__(self):
+                self.entered = asyncio.Event()
+                self.release = asyncio.Event()
+
+            async def run_async(self, cells, executor):
+                self.entered.set()
+                await self.release.wait()
+                return [{"ok": cell.key} for cell in cells]
+
+        async def scenario():
+            runner = GateRunner()
+            batcher = JobBatcher(runner, queue_limit=8, max_batch=1)
+            batcher.start()
+            cells = [
+                make_cell(
+                    "trace_run",
+                    workload="lucene",
+                    collector="g1",
+                    operations=OPS + i,
+                )
+                for i in range(3)
+            ]
+            futures = [batcher.submit(cell) for cell in cells]
+            await runner.entered.wait()  # worker is mid-batch with job 0
+            stop_task = asyncio.ensure_future(batcher.stop())
+            await asyncio.sleep(0)  # stop() observed before the batch ends
+            runner.release.set()
+            await stop_task
+            assert (await futures[0])["ok"] == cells[0].key
+            for future in futures[1:]:
+                with pytest.raises(ServerStopping):
+                    await future
+            assert batcher.completed == 1
+            assert batcher.abandoned == 2
 
         run(scenario())
 
